@@ -1,0 +1,48 @@
+//! Ablation: GTB buffer-size sweep (design-choice check called out in
+//! DESIGN.md).
+//!
+//! The paper compares only "a smaller value" against the Max-Buffer variant;
+//! this bench sweeps the buffer size to show where the trade-off between
+//! decision quality and task-issue latency lands.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sig_bench::{bench_workers, sobel};
+use sig_core::Policy;
+use sig_kernels::{Benchmark, Degree, ExecutionConfig};
+
+fn buffer_size_sweep(c: &mut Criterion) {
+    let workers = bench_workers();
+    let benchmark = sobel();
+    let mut group = c.benchmark_group("ablation/gtb-buffer-size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for buffer_size in [4usize, 16, 64, 256] {
+        group.bench_function(format!("buffer-{buffer_size}"), |b| {
+            b.iter(|| {
+                benchmark.run(&ExecutionConfig::significance(
+                    workers,
+                    Policy::Gtb { buffer_size },
+                    Degree::Medium,
+                ))
+            })
+        });
+    }
+    group.bench_function("buffer-max", |b| {
+        b.iter(|| {
+            benchmark.run(&ExecutionConfig::significance(
+                workers,
+                Policy::GtbMaxBuffer,
+                Degree::Medium,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, buffer_size_sweep);
+criterion_main!(benches);

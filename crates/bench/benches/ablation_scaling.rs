@@ -1,0 +1,43 @@
+//! Ablation: worker-count scaling of the significance runtime (Sobel and
+//! K-means), checking that the policies do not impede parallel scalability.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sig_bench::{bench_workers, kmeans, sobel};
+use sig_core::Policy;
+use sig_kernels::{Benchmark, Degree, ExecutionConfig};
+
+fn scaling(c: &mut Criterion) {
+    let max_workers = bench_workers();
+    let worker_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&w| w <= max_workers)
+        .collect();
+
+    let cases: Vec<(&str, Box<dyn Benchmark>)> =
+        vec![("sobel", Box::new(sobel())), ("kmeans", Box::new(kmeans()))];
+    for (name, benchmark) in &cases {
+        let mut group = c.benchmark_group(format!("ablation/scaling/{name}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        for &workers in &worker_counts {
+            group.bench_function(format!("lqh-workers-{workers}"), |b| {
+                b.iter(|| {
+                    benchmark.run(&ExecutionConfig::significance(
+                        workers,
+                        Policy::Lqh,
+                        Degree::Medium,
+                    ))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 2 bench: execution time of every benchmark under the accurate
+//! baseline, the three significance policies (Medium degree) and loop
+//! perforation. Energy and quality for the same configurations come from
+//! `sig-experiments fig2`, which reuses identical code paths; Criterion's
+//! contribution is statistically robust timing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sig_bench::{bench_suite, bench_workers};
+use sig_core::Policy;
+use sig_kernels::{Approach, Degree, ExecutionConfig};
+
+fn fig2(c: &mut Criterion) {
+    let workers = bench_workers();
+    for benchmark in bench_suite() {
+        let mut group = c.benchmark_group(format!("fig2/{}", benchmark.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+
+        group.bench_function("accurate", |b| {
+            b.iter(|| benchmark.run(&ExecutionConfig::accurate(workers)))
+        });
+        for (label, policy) in [
+            ("GTB", Policy::Gtb { buffer_size: 32 }),
+            ("GTB-MaxBuffer", Policy::GtbMaxBuffer),
+            ("LQH", Policy::Lqh),
+        ] {
+            group.bench_function(format!("{label}/Medium"), |b| {
+                b.iter(|| {
+                    benchmark.run(&ExecutionConfig::significance(
+                        workers,
+                        policy,
+                        Degree::Medium,
+                    ))
+                })
+            });
+        }
+        if benchmark.info().perforation_supported {
+            group.bench_function("perforation/Medium", |b| {
+                b.iter(|| {
+                    benchmark.run(&ExecutionConfig {
+                        workers,
+                        approach: Approach::Perforation {
+                            degree: Degree::Medium,
+                        },
+                    })
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

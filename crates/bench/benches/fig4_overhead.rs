@@ -1,0 +1,35 @@
+//! Figure 4 bench: runtime overhead of the significance-aware policies when
+//! every task runs accurately (ratio 100%), relative to the
+//! significance-agnostic runtime.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sig_bench::{bench_suite, bench_workers};
+use sig_core::Policy;
+
+fn fig4(c: &mut Criterion) {
+    let workers = bench_workers();
+    for benchmark in bench_suite() {
+        let mut group = c.benchmark_group(format!("fig4/{}", benchmark.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        for (label, policy) in [
+            ("agnostic", Policy::SignificanceAgnostic),
+            ("GTB", Policy::Gtb { buffer_size: 32 }),
+            ("GTB-MaxBuffer", Policy::GtbMaxBuffer),
+            ("LQH", Policy::Lqh),
+        ] {
+            group.bench_function(label, |b| {
+                b.iter(|| benchmark.run_full_accuracy(workers, policy))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

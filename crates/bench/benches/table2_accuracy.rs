@@ -1,0 +1,52 @@
+//! Table 2 bench: cost of the policy-accuracy bookkeeping, plus a one-shot
+//! printout of the Table 2 metrics (inversions / ratio deviation) for the
+//! bench-sized inputs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sig_bench::{bench_workers, sobel};
+use sig_core::Policy;
+use sig_harness::experiment::ExperimentDefaults;
+use sig_harness::table2;
+use sig_kernels::{Benchmark, Degree, ExecutionConfig};
+
+fn table2_bench(c: &mut Criterion) {
+    let workers = bench_workers();
+
+    // Print the accuracy metrics once so `cargo bench` output contains the
+    // Table 2 reproduction alongside the timing numbers.
+    let defaults = ExperimentDefaults {
+        workers,
+        ..Default::default()
+    };
+    let rows = table2::run(Some("Sobel"), &defaults);
+    eprintln!("\nTable 2 (Sobel, Medium degree):\n{}", table2::render(&rows));
+
+    let benchmark = sobel();
+    let mut group = c.benchmark_group("table2/sobel-medium");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, policy) in [
+        ("GTB", Policy::Gtb { buffer_size: 32 }),
+        ("GTB-MaxBuffer", Policy::GtbMaxBuffer),
+        ("LQH", Policy::Lqh),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                benchmark.run(&ExecutionConfig::significance(
+                    workers,
+                    policy,
+                    Degree::Medium,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_bench);
+criterion_main!(benches);

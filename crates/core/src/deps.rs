@@ -1,0 +1,300 @@
+//! Dependence tracking over declared task footprints.
+//!
+//! The programming model's `in(...)` / `out(...)` clauses declare the data a
+//! task reads and writes; the runtime derives inter-task dependences from
+//! them (Section 2: "This information is exploited by the runtime to
+//! automatically determine the dependencies among tasks"). The paper reuses
+//! the BDDT dependence machinery and notes that dependence tracking "is not
+//! affected by our approximate computing programming model"; the
+//! implementation here is the standard last-writer/reader-set scheme:
+//!
+//! * a task that **reads** a key depends on the key's last writer (RAW),
+//! * a task that **writes** a key depends on the last writer (WAW) and on
+//!   every reader since that writer (WAR), and becomes the new last writer.
+//!
+//! Keys are opaque [`DepKey`] values; convenience constructors derive them
+//! from names or from the address of the data they stand for.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::task::Task;
+
+/// An opaque dependence key identifying a piece of data (an array, a matrix
+/// block, a scalar...) named in a task's `in()`/`out()` footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DepKey(u64);
+
+impl DepKey {
+    /// Key from an explicit integer identifier.
+    pub fn from_raw(id: u64) -> Self {
+        DepKey(id)
+    }
+
+    /// Key derived from a string name (stable across calls with equal names).
+    pub fn named(name: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        // Distinguish named keys from raw/address keys.
+        0xA5u8.hash(&mut hasher);
+        name.hash(&mut hasher);
+        DepKey(hasher.finish())
+    }
+
+    /// Key derived from the address of a value — handy for buffers: two tasks
+    /// naming the same buffer get the same key.
+    pub fn of<T: ?Sized>(value: &T) -> Self {
+        DepKey(value as *const T as *const u8 as usize as u64)
+    }
+
+    /// Key for the `i`-th element/row/block of the object identified by
+    /// `base` (e.g. one output row of an image).
+    pub fn element(base: DepKey, index: usize) -> Self {
+        let mut hasher = DefaultHasher::new();
+        base.0.hash(&mut hasher);
+        index.hash(&mut hasher);
+        DepKey(hasher.finish())
+    }
+
+    /// The raw 64-bit value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-key state: the last task that wrote the key and every task that has
+/// read it since that write.
+#[derive(Default)]
+struct KeyState {
+    last_writer: Option<Arc<Task>>,
+    readers_since_write: Vec<Arc<Task>>,
+}
+
+/// Tracks dependences and the number of outstanding writers per key (the
+/// latter supports `taskwait on(...)`).
+#[derive(Default)]
+pub(crate) struct DependenceTracker {
+    keys: HashMap<DepKey, KeyState>,
+    outstanding_writes: HashMap<DepKey, usize>,
+}
+
+impl DependenceTracker {
+    pub(crate) fn new() -> Self {
+        DependenceTracker::default()
+    }
+
+    /// Register a task's footprint and return its predecessors (deduplicated).
+    ///
+    /// Must be called in program (spawn) order — the caller serialises this
+    /// through the runtime's spawn path.
+    pub(crate) fn register(
+        &mut self,
+        task: &Arc<Task>,
+        in_keys: &[DepKey],
+        out_keys: &[DepKey],
+    ) -> Vec<Arc<Task>> {
+        let mut preds: Vec<Arc<Task>> = Vec::new();
+        let push_pred = |preds: &mut Vec<Arc<Task>>, candidate: &Arc<Task>| {
+            if candidate.id != task.id && !preds.iter().any(|p| p.id == candidate.id) {
+                preds.push(candidate.clone());
+            }
+        };
+
+        // Reads: RAW on the last writer, then join the reader set.
+        for key in in_keys {
+            let state = self.keys.entry(*key).or_default();
+            if let Some(writer) = &state.last_writer {
+                push_pred(&mut preds, writer);
+            }
+            if !state.readers_since_write.iter().any(|r| r.id == task.id) {
+                state.readers_since_write.push(task.clone());
+            }
+        }
+
+        // Writes: WAW on the last writer, WAR on all readers since that write,
+        // then become the new last writer with an empty reader set.
+        for key in out_keys {
+            let state = self.keys.entry(*key).or_default();
+            if let Some(writer) = &state.last_writer {
+                push_pred(&mut preds, writer);
+            }
+            for reader in &state.readers_since_write {
+                push_pred(&mut preds, reader);
+            }
+            state.last_writer = Some(task.clone());
+            state.readers_since_write.clear();
+            *self.outstanding_writes.entry(*key).or_insert(0) += 1;
+        }
+
+        preds
+    }
+
+    /// Record the completion of a task that had the given output keys.
+    pub(crate) fn complete_writes(&mut self, out_keys: &[DepKey]) {
+        for key in out_keys {
+            if let Some(count) = self.outstanding_writes.get_mut(key) {
+                *count = count.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Number of not-yet-completed tasks that write the given key.
+    pub(crate) fn outstanding_writes(&self, key: DepKey) -> usize {
+        self.outstanding_writes.get(&key).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+    use crate::significance::Significance;
+    use crate::task::TaskId;
+
+    fn task(id: u64, outs: Vec<DepKey>) -> Arc<Task> {
+        Arc::new(Task::new(
+            TaskId(id),
+            GroupId::GLOBAL,
+            Significance::CRITICAL,
+            Box::new(|| {}),
+            None,
+            outs,
+        ))
+    }
+
+    #[test]
+    fn key_constructors_are_stable() {
+        assert_eq!(DepKey::named("res"), DepKey::named("res"));
+        assert_ne!(DepKey::named("res"), DepKey::named("img"));
+        assert_eq!(DepKey::from_raw(7).raw(), 7);
+        let buf = vec![0u8; 4];
+        assert_eq!(DepKey::of(&buf), DepKey::of(&buf));
+        assert_eq!(
+            DepKey::element(DepKey::named("res"), 3),
+            DepKey::element(DepKey::named("res"), 3)
+        );
+        assert_ne!(
+            DepKey::element(DepKey::named("res"), 3),
+            DepKey::element(DepKey::named("res"), 4)
+        );
+    }
+
+    #[test]
+    fn raw_dependency_reader_after_writer() {
+        let mut tracker = DependenceTracker::new();
+        let key = DepKey::named("x");
+        let writer = task(0, vec![key]);
+        let reader = task(1, vec![]);
+        assert!(tracker.register(&writer, &[], &[key]).is_empty());
+        let preds = tracker.register(&reader, &[key], &[]);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].id, writer.id);
+    }
+
+    #[test]
+    fn independent_readers_have_no_mutual_dependency() {
+        let mut tracker = DependenceTracker::new();
+        let key = DepKey::named("x");
+        let writer = task(0, vec![key]);
+        tracker.register(&writer, &[], &[key]);
+        let r1 = task(1, vec![]);
+        let r2 = task(2, vec![]);
+        assert_eq!(tracker.register(&r1, &[key], &[]).len(), 1);
+        let preds = tracker.register(&r2, &[key], &[]);
+        assert_eq!(preds.len(), 1, "readers depend only on the writer");
+        assert_eq!(preds[0].id, writer.id);
+    }
+
+    #[test]
+    fn writer_after_readers_gets_war_dependencies() {
+        let mut tracker = DependenceTracker::new();
+        let key = DepKey::named("x");
+        let w0 = task(0, vec![key]);
+        tracker.register(&w0, &[], &[key]);
+        let r1 = task(1, vec![]);
+        let r2 = task(2, vec![]);
+        tracker.register(&r1, &[key], &[]);
+        tracker.register(&r2, &[key], &[]);
+        let w1 = task(3, vec![key]);
+        let preds = tracker.register(&w1, &[], &[key]);
+        let ids: Vec<u64> = preds.iter().map(|p| p.id.index()).collect();
+        assert_eq!(preds.len(), 3, "WAW on w0 plus WAR on r1, r2: {ids:?}");
+    }
+
+    #[test]
+    fn writer_after_writer_waw() {
+        let mut tracker = DependenceTracker::new();
+        let key = DepKey::named("x");
+        let w0 = task(0, vec![key]);
+        let w1 = task(1, vec![key]);
+        tracker.register(&w0, &[], &[key]);
+        let preds = tracker.register(&w1, &[], &[key]);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].id, w0.id);
+    }
+
+    #[test]
+    fn inout_task_self_dependency_is_ignored() {
+        let mut tracker = DependenceTracker::new();
+        let key = DepKey::named("x");
+        let t = task(0, vec![key]);
+        // Task both reads and writes the same key: it must not depend on
+        // itself.
+        let preds = tracker.register(&t, &[key], &[key]);
+        assert!(preds.is_empty());
+    }
+
+    #[test]
+    fn predecessors_are_deduplicated() {
+        let mut tracker = DependenceTracker::new();
+        let k1 = DepKey::named("a");
+        let k2 = DepKey::named("b");
+        let w = task(0, vec![k1, k2]);
+        tracker.register(&w, &[], &[k1, k2]);
+        let r = task(1, vec![]);
+        let preds = tracker.register(&r, &[k1, k2], &[]);
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_keys_are_independent() {
+        let mut tracker = DependenceTracker::new();
+        let w0 = task(0, vec![DepKey::named("a")]);
+        let w1 = task(1, vec![DepKey::named("b")]);
+        tracker.register(&w0, &[], &[DepKey::named("a")]);
+        let preds = tracker.register(&w1, &[], &[DepKey::named("b")]);
+        assert!(preds.is_empty());
+    }
+
+    #[test]
+    fn outstanding_write_counting() {
+        let mut tracker = DependenceTracker::new();
+        let key = DepKey::named("res");
+        let w0 = task(0, vec![key]);
+        let w1 = task(1, vec![key]);
+        tracker.register(&w0, &[], &[key]);
+        tracker.register(&w1, &[], &[key]);
+        assert_eq!(tracker.outstanding_writes(key), 2);
+        tracker.complete_writes(&[key]);
+        assert_eq!(tracker.outstanding_writes(key), 1);
+        tracker.complete_writes(&[key]);
+        assert_eq!(tracker.outstanding_writes(key), 0);
+        // Further completions saturate at zero.
+        tracker.complete_writes(&[key]);
+        assert_eq!(tracker.outstanding_writes(key), 0);
+        assert_eq!(tracker.outstanding_writes(DepKey::named("other")), 0);
+    }
+
+    #[test]
+    fn chain_of_writers_orders_linearly() {
+        let mut tracker = DependenceTracker::new();
+        let key = DepKey::named("x");
+        let tasks: Vec<_> = (0..5).map(|i| task(i, vec![key])).collect();
+        let mut pred_counts = Vec::new();
+        for t in &tasks {
+            pred_counts.push(tracker.register(t, &[], &[key]).len());
+        }
+        assert_eq!(pred_counts, vec![0, 1, 1, 1, 1]);
+    }
+}

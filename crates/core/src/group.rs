@@ -1,0 +1,249 @@
+//! Task groups.
+//!
+//! The `label(...)` clause of the paper's `#pragma omp task` groups tasks
+//! under a common identifier. Groups are the unit at which
+//!
+//! * the accurate-execution **ratio** `R_g` is specified (via
+//!   `tpc_init_group()` or the `ratio(...)` clause of `taskwait`),
+//! * **barrier synchronisation** happens (`tpc_wait_group()`), and
+//! * the GTB policy keeps its **task buffer** and the statistics of Table 2
+//!   are collected.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::stats::GroupStats;
+use crate::task::Task;
+
+/// Identifier of a task group.
+///
+/// Group `0` is the implicit *global* group that unlabeled tasks belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub(crate) u32);
+
+impl GroupId {
+    /// The implicit group of tasks spawned without a `label(...)` clause.
+    pub const GLOBAL: GroupId = GroupId(0);
+
+    /// Raw index of this group.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A cheaply clonable handle to a task group, returned by
+/// [`Runtime::group`](crate::runtime::Runtime::group).
+#[derive(Debug, Clone)]
+pub struct TaskGroup {
+    pub(crate) id: GroupId,
+    pub(crate) name: Arc<str>,
+}
+
+impl TaskGroup {
+    /// The group identifier.
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// The group label supplied by the programmer.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Internal per-group state shared by the master and the workers.
+pub(crate) struct GroupState {
+    pub(crate) id: GroupId,
+    pub(crate) name: Arc<str>,
+    /// Target ratio of accurately executed tasks, `R_g ∈ [0, 1]`.
+    ratio: Mutex<f64>,
+    /// Tasks spawned into this group and not yet completed.
+    pub(crate) outstanding: AtomicUsize,
+    /// GTB: tasks buffered by the master, awaiting a flush.
+    pub(crate) buffer: Mutex<Vec<Arc<Task>>>,
+    /// Execution statistics (Table 2 inputs).
+    pub(crate) stats: GroupStats,
+}
+
+impl GroupState {
+    pub(crate) fn new(id: GroupId, name: Arc<str>, ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "accurate-task ratio must be in [0, 1], got {ratio}"
+        );
+        GroupState {
+            id,
+            name,
+            ratio: Mutex::new(ratio),
+            outstanding: AtomicUsize::new(0),
+            buffer: Mutex::new(Vec::new()),
+            stats: GroupStats::default(),
+        }
+    }
+
+    /// Current target accurate-task ratio.
+    pub(crate) fn ratio(&self) -> f64 {
+        *self.ratio.lock()
+    }
+
+    /// Update the target ratio (the `ratio(...)` clause of `taskwait`).
+    pub(crate) fn set_ratio(&self, ratio: f64) {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "accurate-task ratio must be in [0, 1], got {ratio}"
+        );
+        *self.ratio.lock() = ratio;
+    }
+}
+
+/// Registry mapping group labels to group state.
+#[derive(Default)]
+pub(crate) struct GroupRegistry {
+    groups: RwLock<Vec<Arc<GroupState>>>,
+    by_name: Mutex<HashMap<Arc<str>, GroupId>>,
+}
+
+impl GroupRegistry {
+    /// Create a registry containing only the global group (full accuracy by
+    /// default: unannotated programs behave exactly like the original code).
+    pub(crate) fn new() -> Self {
+        let registry = GroupRegistry::default();
+        let name: Arc<str> = Arc::from("<global>");
+        registry
+            .groups
+            .write()
+            .push(Arc::new(GroupState::new(GroupId::GLOBAL, name.clone(), 1.0)));
+        registry.by_name.lock().insert(name, GroupId::GLOBAL);
+        registry
+    }
+
+    /// Get or create the group with the given label. The ratio is applied to
+    /// newly created groups; for existing groups it is left untouched unless
+    /// `ratio` is `Some`.
+    pub(crate) fn get_or_create(&self, name: &str, ratio: Option<f64>) -> Arc<GroupState> {
+        if let Some(&id) = self.by_name.lock().get(name) {
+            let group = self.get(id);
+            if let Some(r) = ratio {
+                group.set_ratio(r);
+            }
+            return group;
+        }
+        let mut groups = self.groups.write();
+        // Re-check under the write lock to avoid duplicate creation races.
+        if let Some(&id) = self.by_name.lock().get(name) {
+            return groups[id.index()].clone();
+        }
+        let id = GroupId(groups.len() as u32);
+        let name: Arc<str> = Arc::from(name);
+        let state = Arc::new(GroupState::new(id, name.clone(), ratio.unwrap_or(1.0)));
+        groups.push(state.clone());
+        self.by_name.lock().insert(name, id);
+        state
+    }
+
+    /// Look up a group by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this registry.
+    pub(crate) fn get(&self, id: GroupId) -> Arc<GroupState> {
+        self.groups.read()[id.index()].clone()
+    }
+
+    /// Look up a group by label.
+    pub(crate) fn find(&self, name: &str) -> Option<Arc<GroupState>> {
+        let id = *self.by_name.lock().get(name)?;
+        Some(self.get(id))
+    }
+
+    /// Snapshot of all groups (used by whole-runtime barriers and flushes).
+    pub(crate) fn all(&self) -> Vec<Arc<GroupState>> {
+        self.groups.read().clone()
+    }
+
+    /// Number of groups, including the global one.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.groups.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_starts_with_global_group() {
+        let reg = GroupRegistry::new();
+        assert_eq!(reg.len(), 1);
+        let global = reg.get(GroupId::GLOBAL);
+        assert_eq!(global.id, GroupId::GLOBAL);
+        assert_eq!(global.ratio(), 1.0);
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let reg = GroupRegistry::new();
+        let a = reg.get_or_create("sobel", Some(0.35));
+        let b = reg.get_or_create("sobel", None);
+        assert_eq!(a.id, b.id);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(b.ratio(), 0.35);
+    }
+
+    #[test]
+    fn get_or_create_updates_ratio_when_given() {
+        let reg = GroupRegistry::new();
+        let a = reg.get_or_create("g", Some(0.5));
+        assert_eq!(a.ratio(), 0.5);
+        reg.get_or_create("g", Some(0.8));
+        assert_eq!(a.ratio(), 0.8);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let reg = GroupRegistry::new();
+        let a = reg.get_or_create("a", None);
+        let b = reg.get_or_create("b", None);
+        assert_ne!(a.id, b.id);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let reg = GroupRegistry::new();
+        reg.get_or_create("dct", Some(0.4));
+        assert!(reg.find("dct").is_some());
+        assert!(reg.find("missing").is_none());
+    }
+
+    #[test]
+    fn new_group_defaults_to_fully_accurate() {
+        let reg = GroupRegistry::new();
+        let g = reg.get_or_create("plain", None);
+        assert_eq!(g.ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn invalid_ratio_panics() {
+        let reg = GroupRegistry::new();
+        reg.get_or_create("bad", Some(1.5));
+    }
+
+    #[test]
+    fn set_ratio_roundtrip() {
+        let reg = GroupRegistry::new();
+        let g = reg.get_or_create("g", None);
+        g.set_ratio(0.25);
+        assert_eq!(g.ratio(), 0.25);
+    }
+
+    #[test]
+    fn global_id_index() {
+        assert_eq!(GroupId::GLOBAL.index(), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Significance-aware execution policies.
+//!
+//! The runtime must choose, for every task with significance below `1.0`,
+//! whether to run its accurate body, its approximate body, or drop it — while
+//! honouring (a) the per-group accurate-task ratio `R_g` and (b) the
+//! preference for approximating the *least* significant tasks first
+//! (Section 3.2). The paper defines two policies plus the baseline:
+//!
+//! * [`Policy::SignificanceAgnostic`] — the unmodified runtime used as the
+//!   overhead baseline (Figure 4): every task runs accurately.
+//! * [`Policy::Gtb`] — **Global Task Buffering** (Section 3.3, Listing 4):
+//!   the master buffers tasks, sorts each full buffer by significance and
+//!   issues the top `R_g · B` accurately.
+//!   [`Policy::GtbMaxBuffer`] buffers an entire group until its barrier.
+//! * [`Policy::Lqh`] — **Local Queue History** (Section 3.4): workers decide
+//!   per task from a local, per-group histogram over the 101 discrete
+//!   significance levels: run accurately iff `t_g(s) > (1 − R_g) · t_g(1.0)`.
+
+use std::collections::HashMap;
+
+use crate::group::GroupId;
+use crate::significance::{Significance, NUM_LEVELS};
+
+/// Which task-classification policy the runtime applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Execute every task accurately; no significance bookkeeping at all.
+    /// This is the baseline the paper uses to measure runtime overhead.
+    SignificanceAgnostic,
+    /// Global Task Buffering with the given buffer capacity (tasks).
+    Gtb {
+        /// Number of tasks the master buffers before analysing and issuing
+        /// them. The paper passes this at compile time; here it is a runtime
+        /// parameter.
+        buffer_size: usize,
+    },
+    /// Global Task Buffering with an unbounded buffer: all tasks of a group
+    /// are buffered until the group's synchronisation barrier, giving the
+    /// policy perfect information ("Max Buffer GTB" in Section 4).
+    GtbMaxBuffer,
+    /// Local Queue History: per-worker, per-group significance histograms.
+    Lqh,
+}
+
+impl Policy {
+    /// Short name used in reports and benchmark IDs (matches the paper's
+    /// labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::SignificanceAgnostic => "accurate-agnostic",
+            Policy::Gtb { .. } => "GTB",
+            Policy::GtbMaxBuffer => "GTB(MaxBuffer)",
+            Policy::Lqh => "LQH",
+        }
+    }
+
+    /// The GTB buffer capacity, if this is a buffering policy.
+    /// `GtbMaxBuffer` reports `usize::MAX`.
+    pub fn buffer_capacity(&self) -> Option<usize> {
+        match self {
+            Policy::Gtb { buffer_size } => Some(*buffer_size),
+            Policy::GtbMaxBuffer => Some(usize::MAX),
+            _ => None,
+        }
+    }
+
+    /// Whether the master-side task buffering path is active.
+    pub fn is_buffering(&self) -> bool {
+        self.buffer_capacity().is_some()
+    }
+
+    /// Whether workers make the accurate/approximate decision at execution
+    /// time (LQH).
+    pub fn decides_at_execution(&self) -> bool {
+        matches!(self, Policy::Lqh)
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::SignificanceAgnostic
+    }
+}
+
+/// Decide the execution modes for one GTB buffer flush.
+///
+/// `tasks` is a slice of `(significance, index)` pairs in spawn order; the
+/// returned vector holds `true` (accurate) or `false` (approximate) per input
+/// position. The `R_g · B` most significant tasks are marked accurate
+/// (Listing 4 of the paper), with the paper's special values honoured on top:
+/// significance `1.0` is always accurate and `0.0` never is.
+pub(crate) fn gtb_classify(tasks: &[Significance], ratio: f64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Sort indices by descending significance; stable so that equal
+    // significance resolves in spawn order (deterministic, like the paper's
+    // deterministic GTB behaviour noted in the K-means discussion).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| tasks[b].cmp(&tasks[a]).then(a.cmp(&b)));
+    let accurate_target = (ratio * n as f64).ceil() as usize;
+    let mut accurate = vec![false; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        let sig = tasks[idx];
+        accurate[idx] = if sig.is_critical() {
+            true
+        } else if sig.is_negligible() {
+            false
+        } else {
+            rank < accurate_target
+        };
+    }
+    accurate
+}
+
+/// Per-worker LQH state: one cumulative histogram per task group.
+///
+/// The bookkeeping cost is "accessing an array of size equal to the number of
+/// distinct significance levels (101 in the runtime), which is negligible
+/// compared to the granularity of the task" (Section 3.4).
+#[derive(Debug, Default)]
+pub(crate) struct LqhState {
+    histograms: HashMap<GroupId, [u64; NUM_LEVELS]>,
+}
+
+impl LqhState {
+    pub(crate) fn new() -> Self {
+        LqhState::default()
+    }
+
+    /// Decide whether a task with the given significance should run
+    /// accurately — "based on the distribution of significance levels of the
+    /// tasks executed so far" (Section 3.4) — then account for the task in
+    /// the worker-local history.
+    ///
+    /// Because the decision looks only at *prior* history, a worker's very
+    /// first tasks in a group tend to be approximated until the histogram
+    /// fills in; this is the source of LQH's slight undershoot of the
+    /// requested ratio that the paper observes for MC.
+    pub(crate) fn decide(&mut self, group: GroupId, significance: Significance, ratio: f64) -> bool {
+        // Special values bypass the history entirely (Section 2).
+        if significance.is_critical() {
+            self.observe(group, significance);
+            return true;
+        }
+        if significance.is_negligible() {
+            self.observe(group, significance);
+            return false;
+        }
+        let decision = if ratio >= 1.0 {
+            true
+        } else if ratio <= 0.0 {
+            false
+        } else {
+            let hist = self.histograms.entry(group).or_insert([0; NUM_LEVELS]);
+            let level = significance.level().index();
+            let tasks_at_or_below: u64 = hist[..=level].iter().sum();
+            let total: u64 = hist.iter().sum();
+            (tasks_at_or_below as f64) > (1.0 - ratio) * total as f64
+        };
+        self.observe(group, significance);
+        decision
+    }
+
+    /// Record one observed task without making a decision (used when a GTB
+    /// decision is replayed through a worker that also keeps LQH state, and
+    /// by `decide`).
+    pub(crate) fn observe(&mut self, group: GroupId, significance: Significance) {
+        let hist = self.histograms.entry(group).or_insert([0; NUM_LEVELS]);
+        hist[significance.level().index()] += 1;
+    }
+
+    /// Total tasks observed for a group (`t_g(1.0)` in the paper's notation).
+    #[cfg(test)]
+    pub(crate) fn total_observed(&self, group: GroupId) -> u64 {
+        self.histograms
+            .get(&group)
+            .map(|h| h.iter().sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(v: f64) -> Significance {
+        Significance::new(v)
+    }
+
+    #[test]
+    fn policy_metadata() {
+        assert_eq!(Policy::Lqh.name(), "LQH");
+        assert_eq!(Policy::Gtb { buffer_size: 8 }.buffer_capacity(), Some(8));
+        assert_eq!(Policy::GtbMaxBuffer.buffer_capacity(), Some(usize::MAX));
+        assert_eq!(Policy::SignificanceAgnostic.buffer_capacity(), None);
+        assert!(Policy::GtbMaxBuffer.is_buffering());
+        assert!(!Policy::Lqh.is_buffering());
+        assert!(Policy::Lqh.decides_at_execution());
+        assert_eq!(Policy::default(), Policy::SignificanceAgnostic);
+    }
+
+    #[test]
+    fn gtb_marks_most_significant_accurate() {
+        let sigs = vec![sig(0.1), sig(0.9), sig(0.5), sig(0.7)];
+        let decisions = gtb_classify(&sigs, 0.5);
+        // Two accurate slots: 0.9 and 0.7.
+        assert_eq!(decisions, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn gtb_ratio_one_marks_everything_accurate() {
+        let sigs = vec![sig(0.1), sig(0.2), sig(0.3)];
+        assert_eq!(gtb_classify(&sigs, 1.0), vec![true; 3]);
+    }
+
+    #[test]
+    fn gtb_ratio_zero_marks_everything_approximate() {
+        let sigs = vec![sig(0.1), sig(0.2), sig(0.3)];
+        assert_eq!(gtb_classify(&sigs, 0.0), vec![false; 3]);
+    }
+
+    #[test]
+    fn gtb_special_values_override_ratio() {
+        let sigs = vec![sig(1.0), sig(0.0), sig(0.5)];
+        // Ratio 0: even then, the critical task stays accurate.
+        assert_eq!(gtb_classify(&sigs, 0.0), vec![true, false, false]);
+        // Ratio 1: the negligible task still runs approximately.
+        assert_eq!(gtb_classify(&sigs, 1.0), vec![true, false, true]);
+    }
+
+    #[test]
+    fn gtb_rounds_accurate_count_up() {
+        // 3 tasks, ratio 0.5 => ceil(1.5) = 2 accurate.
+        let sigs = vec![sig(0.2), sig(0.4), sig(0.6)];
+        let decisions = gtb_classify(&sigs, 0.5);
+        assert_eq!(decisions.iter().filter(|&&a| a).count(), 2);
+    }
+
+    #[test]
+    fn gtb_ties_resolve_in_spawn_order() {
+        let sigs = vec![sig(0.5), sig(0.5), sig(0.5), sig(0.5)];
+        let decisions = gtb_classify(&sigs, 0.5);
+        assert_eq!(decisions, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn gtb_empty_buffer() {
+        assert!(gtb_classify(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn gtb_never_inverts_significance() {
+        // Property: if a task runs accurately, every strictly more
+        // significant non-negligible task also runs accurately.
+        let sigs: Vec<Significance> = (1..=20).map(|i| sig((i % 9 + 1) as f64 / 10.0)).collect();
+        for ratio in [0.1, 0.35, 0.5, 0.8] {
+            let decisions = gtb_classify(&sigs, ratio);
+            let min_accurate = sigs
+                .iter()
+                .zip(&decisions)
+                .filter(|(_, &acc)| acc)
+                .map(|(s, _)| *s)
+                .min();
+            if let Some(min_acc) = min_accurate {
+                for (s, acc) in sigs.iter().zip(&decisions) {
+                    if *s > min_acc {
+                        assert!(acc, "task with significance {s} inverted at ratio {ratio}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lqh_critical_and_negligible_bypass_history() {
+        let mut state = LqhState::new();
+        assert!(state.decide(GroupId::GLOBAL, sig(1.0), 0.0));
+        assert!(!state.decide(GroupId::GLOBAL, sig(0.0), 1.0));
+    }
+
+    #[test]
+    fn lqh_ratio_extremes() {
+        let mut state = LqhState::new();
+        assert!(state.decide(GroupId::GLOBAL, sig(0.5), 1.0));
+        assert!(!state.decide(GroupId::GLOBAL, sig(0.5), 0.0));
+    }
+
+    #[test]
+    fn lqh_uniform_significance_converges_to_fully_accurate() {
+        // All tasks share one level: t_g(s) == t_g(1.0), so once any history
+        // exists every further task runs accurately (paper: K-means under
+        // LQH matches the fully accurate output). Only the history-less very
+        // first task may be approximated.
+        let mut state = LqhState::new();
+        let group = GroupId(3);
+        let decisions: Vec<bool> = (0..100).map(|_| state.decide(group, sig(0.5), 0.6)).collect();
+        assert!(!decisions[0], "first task has no history to justify accuracy");
+        assert!(decisions[1..].iter().all(|&d| d));
+        assert_eq!(state.total_observed(group), 100);
+    }
+
+    #[test]
+    fn lqh_low_significance_tasks_are_approximated() {
+        let mut state = LqhState::new();
+        let group = GroupId(1);
+        // Seed the history with a spread of significances (round-robin 0.1..0.9
+        // like the Sobel example), then check the decision boundary.
+        let mut accurate = 0;
+        let mut total = 0;
+        for i in 0..900usize {
+            let s = sig(((i % 9) + 1) as f64 / 10.0);
+            if state.decide(group, s, 0.35) {
+                accurate += 1;
+            }
+            total += 1;
+        }
+        let achieved = accurate as f64 / total as f64;
+        // The history-based rule should land in the vicinity of the request,
+        // approximating predominantly the low-significance tasks.
+        assert!(
+            achieved > 0.2 && achieved < 0.7,
+            "achieved accurate ratio {achieved} too far from requested 0.35"
+        );
+    }
+
+    #[test]
+    fn lqh_higher_significance_is_never_worse_off() {
+        // After identical warm-up, a higher-significance task must be at
+        // least as likely to run accurately as a lower-significance one.
+        let warmup = |state: &mut LqhState, group: GroupId| {
+            for i in 0..90 {
+                let s = sig(((i % 9) + 1) as f64 / 10.0);
+                state.decide(group, s, 0.5);
+            }
+        };
+        let mut a = LqhState::new();
+        let mut b = LqhState::new();
+        warmup(&mut a, GroupId(1));
+        warmup(&mut b, GroupId(1));
+        let low = a.decide(GroupId(1), sig(0.2), 0.5);
+        let high = b.decide(GroupId(1), sig(0.8), 0.5);
+        assert!(high >= low);
+    }
+
+    #[test]
+    fn lqh_groups_are_independent() {
+        let mut state = LqhState::new();
+        let g1 = GroupId(1);
+        let g2 = GroupId(2);
+        for _ in 0..50 {
+            state.decide(g1, sig(0.9), 0.5);
+        }
+        // Group 2 history is empty; its first medium-significance task at a
+        // moderate ratio is judged only against itself.
+        assert_eq!(state.total_observed(g2), 0);
+        state.decide(g2, sig(0.5), 0.5);
+        assert_eq!(state.total_observed(g2), 1);
+        assert_eq!(state.total_observed(g1), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn gtb_invalid_ratio_panics() {
+        gtb_classify(&[sig(0.5)], 1.5);
+    }
+}

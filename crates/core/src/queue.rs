@@ -1,0 +1,202 @@
+//! Per-worker task queues.
+//!
+//! The paper's runtime "is organized as a master/slave work-sharing
+//! scheduler. ... For every task call encountered, the task is enqueued in a
+//! per-worker task queue. Tasks are distributed across workers in round-robin
+//! fashion. Workers select the oldest tasks from their queues for execution.
+//! When a worker's queue runs empty, the worker may steal tasks from other
+//! worker's queues." (Section 3)
+//!
+//! Tasks in this system are coarse-grained (whole image rows, matrix blocks,
+//! chunks of observations), so a mutex-protected `VecDeque` per worker is
+//! both simple and entirely sufficient; the lock is uncontended except during
+//! stealing.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::task::Task;
+
+/// A single worker's FIFO queue.
+#[derive(Default)]
+pub(crate) struct WorkerQueue {
+    deque: Mutex<VecDeque<Arc<Task>>>,
+}
+
+impl WorkerQueue {
+    pub(crate) fn new() -> Self {
+        WorkerQueue::default()
+    }
+
+    /// Enqueue a task (called by the master or by a completing task's
+    /// successor-release path).
+    pub(crate) fn push(&self, task: Arc<Task>) {
+        self.deque.lock().push_back(task);
+    }
+
+    /// Dequeue the oldest task (owner path).
+    pub(crate) fn pop_oldest(&self) -> Option<Arc<Task>> {
+        self.deque.lock().pop_front()
+    }
+
+    /// Steal the newest task (thief path). Stealing from the opposite end of
+    /// the owner reduces contention and keeps the owner working on the oldest
+    /// tasks as the paper prescribes.
+    pub(crate) fn steal_newest(&self) -> Option<Arc<Task>> {
+        self.deque.lock().pop_back()
+    }
+
+    /// Number of queued tasks.
+    pub(crate) fn len(&self) -> usize {
+        self.deque.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.deque.lock().is_empty()
+    }
+}
+
+/// The set of all worker queues plus the round-robin cursor used by the
+/// master to distribute tasks.
+pub(crate) struct QueueSet {
+    queues: Vec<WorkerQueue>,
+    next: std::sync::atomic::AtomicUsize,
+}
+
+impl QueueSet {
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker queue is required");
+        QueueSet {
+            queues: (0..workers).map(|_| WorkerQueue::new()).collect(),
+            next: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker queues.
+    pub(crate) fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Push a task to the next queue in round-robin order.
+    pub(crate) fn push_round_robin(&self, task: Arc<Task>) {
+        let slot = self
+            .next
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            % self.queues.len();
+        self.queues[slot].push(task);
+    }
+
+    /// The queue owned by worker `index`.
+    pub(crate) fn queue(&self, index: usize) -> &WorkerQueue {
+        &self.queues[index]
+    }
+
+    /// Attempt to steal a task on behalf of worker `thief`, scanning the
+    /// other workers' queues.
+    pub(crate) fn steal(&self, thief: usize) -> Option<Arc<Task>> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            if let Some(task) = self.queues[victim].steal_newest() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Total number of queued (issued but not yet started) tasks.
+    pub(crate) fn total_queued(&self) -> usize {
+        self.queues.iter().map(WorkerQueue::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupId;
+    use crate::significance::Significance;
+    use crate::task::TaskId;
+
+    fn task(id: u64) -> Arc<Task> {
+        Arc::new(Task::new(
+            TaskId(id),
+            GroupId::GLOBAL,
+            Significance::CRITICAL,
+            Box::new(|| {}),
+            None,
+            Vec::new(),
+        ))
+    }
+
+    #[test]
+    fn queue_is_fifo_for_owner() {
+        let q = WorkerQueue::new();
+        q.push(task(1));
+        q.push(task(2));
+        q.push(task(3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_oldest().unwrap().id, TaskId(1));
+        assert_eq!(q.pop_oldest().unwrap().id, TaskId(2));
+        assert_eq!(q.pop_oldest().unwrap().id, TaskId(3));
+        assert!(q.pop_oldest().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn thief_takes_newest() {
+        let q = WorkerQueue::new();
+        q.push(task(1));
+        q.push(task(2));
+        assert_eq!(q.steal_newest().unwrap().id, TaskId(2));
+        assert_eq!(q.pop_oldest().unwrap().id, TaskId(1));
+    }
+
+    #[test]
+    fn round_robin_distributes_evenly() {
+        let set = QueueSet::new(4);
+        for i in 0..8 {
+            set.push_round_robin(task(i));
+        }
+        for w in 0..4 {
+            assert_eq!(set.queue(w).len(), 2, "worker {w} should hold 2 tasks");
+        }
+        assert_eq!(set.total_queued(), 8);
+    }
+
+    #[test]
+    fn steal_scans_other_queues() {
+        let set = QueueSet::new(3);
+        // Put work only on worker 2's queue.
+        set.queue(2).push(task(7));
+        let stolen = set.steal(0).expect("worker 0 should steal from worker 2");
+        assert_eq!(stolen.id, TaskId(7));
+        assert!(set.steal(0).is_none());
+    }
+
+    #[test]
+    fn steal_never_takes_from_own_queue() {
+        let set = QueueSet::new(2);
+        set.queue(1).push(task(9));
+        assert!(set.steal(1).is_none(), "a worker must not steal from itself");
+        assert_eq!(set.queue(1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        QueueSet::new(0);
+    }
+
+    #[test]
+    fn single_worker_set() {
+        let set = QueueSet::new(1);
+        set.push_round_robin(task(1));
+        set.push_round_robin(task(2));
+        assert_eq!(set.queue(0).len(), 2);
+        assert!(set.steal(0).is_none());
+    }
+}

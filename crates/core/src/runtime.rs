@@ -1,0 +1,971 @@
+//! The significance-aware task runtime.
+//!
+//! This module ties the pieces together into the system described in
+//! Section 3 of the paper:
+//!
+//! * a **master/slave work-sharing scheduler** — the spawning thread is the
+//!   master, worker threads execute tasks from per-worker FIFO queues filled
+//!   round-robin, stealing from each other when empty;
+//! * **dependence tracking** over the `in()`/`out()` footprints declared at
+//!   spawn time;
+//! * the **execution policies** (significance-agnostic, GTB, GTB Max-Buffer,
+//!   LQH) that pick the accurate or approximate body of each task while
+//!   honouring the per-group accurate-task ratio;
+//! * **barriers**: a global `taskwait`, a per-group `taskwait label(...)`, and
+//!   `taskwait on(<data>)`, each optionally carrying a `ratio(...)` clause.
+//!
+//! # Example
+//!
+//! ```
+//! use sig_core::{Runtime, Policy, Significance};
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let rt = Runtime::builder()
+//!     .workers(4)
+//!     .policy(Policy::Gtb { buffer_size: 16 })
+//!     .build();
+//! let group = rt.create_group("demo", 0.5);
+//! let accurate_runs = Arc::new(AtomicUsize::new(0));
+//! let approx_runs = Arc::new(AtomicUsize::new(0));
+//!
+//! for i in 0..100u32 {
+//!     let acc = accurate_runs.clone();
+//!     let apx = approx_runs.clone();
+//!     rt.task(move || { acc.fetch_add(1, Ordering::Relaxed); })
+//!         .approx(move || { apx.fetch_add(1, Ordering::Relaxed); })
+//!         .significance(((i % 9) + 1) as f64 / 10.0)
+//!         .group(&group)
+//!         .spawn();
+//! }
+//! rt.wait_group(&group);
+//! let stats = rt.group_stats(&group);
+//! assert_eq!(stats.total(), 100);
+//! assert!(stats.accurate >= 50);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::deps::{DepKey, DependenceTracker};
+use crate::group::{GroupId, GroupRegistry, GroupState, TaskGroup};
+use crate::policy::{gtb_classify, LqhState, Policy};
+use crate::queue::QueueSet;
+use crate::significance::Significance;
+use crate::stats::{GroupStatsSnapshot, RuntimeStats};
+use crate::task::{ExecutionMode, Task, TaskBody, TaskId};
+
+/// How long an idle worker sleeps between checks for new work or shutdown.
+const IDLE_WAIT: Duration = Duration::from_millis(1);
+
+/// Builder for [`Runtime`] instances.
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    workers: Option<usize>,
+    policy: Policy,
+    pin_hint: bool,
+}
+
+impl RuntimeBuilder {
+    /// Number of worker threads. Defaults to the host's available
+    /// parallelism.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a runtime needs at least one worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The execution policy (default: [`Policy::SignificanceAgnostic`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Advisory flag mirroring the paper's thread pinning. Thread affinity is
+    /// platform-specific and not required for correctness; the flag is kept
+    /// so experiment configurations can record the intent.
+    pub fn pin_threads(mut self, pin: bool) -> Self {
+        self.pin_hint = pin;
+        self
+    }
+
+    /// Construct the runtime and start its worker threads.
+    pub fn build(self) -> Runtime {
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Runtime::start(workers, self.policy)
+    }
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            workers: None,
+            policy: Policy::default(),
+            pin_hint: false,
+        }
+    }
+}
+
+/// Shared state between the master, the workers and the public handle.
+struct RuntimeInner {
+    policy: Policy,
+    queues: QueueSet,
+    groups: GroupRegistry,
+    tracker: Mutex<DependenceTracker>,
+    stats: RuntimeStats,
+    next_task_id: AtomicU64,
+    /// Tasks spawned and not yet completed, across all groups.
+    outstanding: AtomicUsize,
+    /// Task bodies that panicked (caught and counted, never propagated to the
+    /// worker thread).
+    panicked: AtomicUsize,
+    shutdown: AtomicBool,
+    work_mutex: Mutex<()>,
+    work_available: Condvar,
+    completion_mutex: Mutex<()>,
+    completion: Condvar,
+}
+
+impl RuntimeInner {
+    /// Try to move a task into a worker queue. A task is enqueued exactly
+    /// once, as soon as it is both *released* (by the master / a GTB flush)
+    /// and *ready* (all predecessors completed).
+    fn try_enqueue(&self, task: &Arc<Task>) {
+        if task.is_released() && task.is_ready() && task.claim_enqueue() {
+            self.queues.push_round_robin(task.clone());
+            let _guard = self.work_mutex.lock();
+            self.work_available.notify_all();
+        }
+    }
+
+    /// GTB flush: classify the buffered tasks of `group`, then release them.
+    fn flush_tasks(&self, group: &GroupState, tasks: Vec<Arc<Task>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        self.stats.record_flush();
+        let significances: Vec<Significance> = tasks.iter().map(|t| t.significance).collect();
+        let decisions = gtb_classify(&significances, group.ratio());
+        for (task, accurate) in tasks.iter().zip(decisions) {
+            task.decide(accurate);
+        }
+        for task in tasks {
+            task.release();
+            self.try_enqueue(&task);
+        }
+    }
+
+    /// Flush the pending GTB buffer of one group.
+    fn flush_group(&self, group: &GroupState) {
+        let tasks = std::mem::take(&mut *group.buffer.lock());
+        self.flush_tasks(group, tasks);
+    }
+
+    /// Flush the GTB buffers of every group (used by global barriers).
+    fn flush_all_groups(&self) {
+        for group in self.groups.all() {
+            self.flush_group(&group);
+        }
+    }
+
+    /// Execute a task on worker `worker`: make the accuracy decision if it is
+    /// still open, run the chosen body, record statistics, then resolve
+    /// dependences and barriers.
+    fn execute(&self, task: Arc<Task>, lqh: &mut LqhState) {
+        let group = self.groups.get(task.group);
+        let accurate = match task.decision() {
+            Some(decision) => decision,
+            None => match self.policy {
+                Policy::Lqh => lqh.decide(task.group, task.significance, group.ratio()),
+                // The significance-agnostic runtime and any GTB task that
+                // somehow reaches a worker undecided run accurately: the
+                // conservative choice never degrades output quality.
+                _ => true,
+            },
+        };
+
+        let start = Instant::now();
+        let mode = if accurate {
+            let body = task.accurate.lock().take();
+            if let Some(body) = body {
+                self.run_body(body);
+            }
+            ExecutionMode::Accurate
+        } else {
+            let body = task.approximate.lock().take();
+            match body {
+                Some(body) => {
+                    self.run_body(body);
+                    ExecutionMode::Approximate
+                }
+                None => ExecutionMode::Dropped,
+            }
+        };
+        let busy = start.elapsed();
+
+        // Drop whichever body was not executed *before* completion is
+        // signalled, so resources captured by it (for example
+        // `SharedGrid` region writers shared between the accurate and the
+        // approximate closure) are released by the time a barrier returns.
+        drop(task.accurate.lock().take());
+        drop(task.approximate.lock().take());
+
+        self.stats.record_execution(mode, busy);
+        group.stats.record(task.significance.level(), mode);
+        self.complete(&task, &group);
+    }
+
+    /// Run a task body, catching panics so one failing task cannot take a
+    /// worker thread (and the whole runtime) down.
+    fn run_body(&self, body: TaskBody) {
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Post-execution bookkeeping: wake successors, update dependence and
+    /// group counters, and signal barriers.
+    fn complete(&self, task: &Arc<Task>, group: &GroupState) {
+        let successors = {
+            let mut successors = task.successors.lock();
+            task.completed.store(true, Ordering::Release);
+            std::mem::take(&mut *successors)
+        };
+        for successor in successors {
+            if successor.pending_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.try_enqueue(&successor);
+            }
+        }
+        if !task.out_keys.is_empty() {
+            self.tracker.lock().complete_writes(&task.out_keys);
+        }
+        group.outstanding.fetch_sub(1, Ordering::AcqRel);
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        let _guard = self.completion_mutex.lock();
+        self.completion.notify_all();
+    }
+
+    /// Block until `predicate` becomes true, re-checking on every task
+    /// completion.
+    fn wait_until(&self, predicate: impl Fn() -> bool) {
+        let mut guard = self.completion_mutex.lock();
+        while !predicate() {
+            self.completion
+                .wait_for(&mut guard, Duration::from_millis(5));
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        let mut lqh = LqhState::new();
+        loop {
+            if let Some(task) = self.queues.queue(index).pop_oldest() {
+                self.execute(task, &mut lqh);
+                continue;
+            }
+            if let Some(task) = self.queues.steal(index) {
+                self.stats.record_steal();
+                self.execute(task, &mut lqh);
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let mut guard = self.work_mutex.lock();
+            if self.queues.total_queued() == 0 && !self.shutdown.load(Ordering::Acquire) {
+                self.work_available.wait_for(&mut guard, IDLE_WAIT);
+            }
+        }
+    }
+}
+
+/// The significance-aware task runtime (public handle).
+///
+/// Dropping the runtime waits for all outstanding tasks (flushing any GTB
+/// buffers first) and then joins the worker threads.
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Convenience constructor: default worker count with the given policy.
+    pub fn with_policy(policy: Policy) -> Runtime {
+        Runtime::builder().policy(policy).build()
+    }
+
+    fn start(workers: usize, policy: Policy) -> Runtime {
+        let inner = Arc::new(RuntimeInner {
+            policy,
+            queues: QueueSet::new(workers),
+            groups: GroupRegistry::new(),
+            tracker: Mutex::new(DependenceTracker::new()),
+            stats: RuntimeStats::default(),
+            next_task_id: AtomicU64::new(0),
+            outstanding: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            work_mutex: Mutex::new(()),
+            work_available: Condvar::new(),
+            completion_mutex: Mutex::new(()),
+            completion: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("sig-worker-{index}"))
+                    .spawn(move || inner.worker_loop(index))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Runtime {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// The policy this runtime applies.
+    pub fn policy(&self) -> Policy {
+        self.inner.policy
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.queues.len()
+    }
+
+    /// Whole-runtime execution statistics.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.inner.stats
+    }
+
+    /// Number of task bodies that panicked (the panics are caught and the
+    /// tasks counted as completed).
+    pub fn panicked_tasks(&self) -> usize {
+        self.inner.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Create (or look up) a task group with the given label and target
+    /// accurate-task ratio — the runtime-API equivalent of
+    /// `tpc_init_group()`.
+    pub fn create_group(&self, label: &str, ratio: f64) -> TaskGroup {
+        let state = self.inner.groups.get_or_create(label, Some(ratio));
+        TaskGroup {
+            id: state.id,
+            name: state.name.clone(),
+        }
+    }
+
+    /// Look up a group previously created with [`Runtime::create_group`]
+    /// (or implicitly via [`TaskBuilder::label`]).
+    pub fn find_group(&self, label: &str) -> Option<TaskGroup> {
+        let state = self.inner.groups.find(label)?;
+        Some(TaskGroup {
+            id: state.id,
+            name: state.name.clone(),
+        })
+    }
+
+    /// Begin describing a task whose accurate body is `body` — the equivalent
+    /// of `#pragma omp task`.
+    pub fn task<F>(&self, body: F) -> TaskBuilder<'_>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        TaskBuilder {
+            runtime: self,
+            accurate: Box::new(body),
+            approximate: None,
+            significance: Significance::default(),
+            group: None,
+            in_keys: Vec::new(),
+            out_keys: Vec::new(),
+        }
+    }
+
+    /// Global barrier (`#pragma omp taskwait`): flush all GTB buffers and
+    /// wait until every spawned task has completed.
+    pub fn wait_all(&self) {
+        self.inner.flush_all_groups();
+        let inner = self.inner.clone();
+        self.inner
+            .wait_until(move || inner.outstanding.load(Ordering::Acquire) == 0);
+    }
+
+    /// Global barrier with a `ratio(...)` clause: the ratio is applied to the
+    /// implicit global group before flushing.
+    pub fn wait_all_with_ratio(&self, ratio: f64) {
+        self.inner.groups.get(GroupId::GLOBAL).set_ratio(ratio);
+        self.wait_all();
+    }
+
+    /// Group barrier (`#pragma omp taskwait label(...)`): flush the group's
+    /// GTB buffer and wait for its tasks.
+    pub fn wait_group(&self, group: &TaskGroup) {
+        let state = self.inner.groups.get(group.id);
+        self.inner.flush_group(&state);
+        let inner = self.inner.clone();
+        let id = group.id;
+        self.inner.wait_until(move || {
+            inner.groups.get(id).outstanding.load(Ordering::Acquire) == 0
+        });
+    }
+
+    /// Group barrier with a `ratio(...)` clause
+    /// (`#pragma omp taskwait label(...) ratio(...)`).
+    ///
+    /// The ratio is installed before the flush so a Max-Buffer GTB flush and
+    /// all still-undecided LQH decisions observe it.
+    pub fn wait_group_with_ratio(&self, group: &TaskGroup, ratio: f64) {
+        let state = self.inner.groups.get(group.id);
+        state.set_ratio(ratio);
+        self.inner.flush_group(&state);
+        let inner = self.inner.clone();
+        let id = group.id;
+        self.inner.wait_until(move || {
+            inner.groups.get(id).outstanding.load(Ordering::Acquire) == 0
+        });
+    }
+
+    /// Data barrier (`#pragma omp taskwait on(...)`): wait until every task
+    /// that writes `key` has completed. All GTB buffers are flushed first, as
+    /// buffered tasks could be writers of `key`.
+    pub fn wait_on(&self, key: DepKey) {
+        self.inner.flush_all_groups();
+        let inner = self.inner.clone();
+        self.inner
+            .wait_until(move || inner.tracker.lock().outstanding_writes(key) == 0);
+    }
+
+    /// Execution statistics of one group (Table 2 inputs).
+    pub fn group_stats(&self, group: &TaskGroup) -> GroupStatsSnapshot {
+        let state = self.inner.groups.get(group.id);
+        state.stats.snapshot(state.ratio())
+    }
+
+    /// Execution statistics of every group, labelled by group name.
+    pub fn all_group_stats(&self) -> Vec<(String, GroupStatsSnapshot)> {
+        self.inner
+            .groups
+            .all()
+            .iter()
+            .map(|state| {
+                (
+                    state.name.to_string(),
+                    state.stats.snapshot(state.ratio()),
+                )
+            })
+            .collect()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Make sure nothing is lost in GTB buffers, then stop the workers.
+        self.wait_all();
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.inner.work_mutex.lock();
+            self.inner.work_available.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("policy", &self.inner.policy)
+            .field("workers", &self.workers.len())
+            .field("outstanding", &self.inner.outstanding.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Fluent description of a task before it is spawned — the programming-model
+/// clauses of `#pragma omp task` map to the methods of this builder.
+#[must_use = "a task builder does nothing until .spawn() is called"]
+pub struct TaskBuilder<'rt> {
+    runtime: &'rt Runtime,
+    accurate: TaskBody,
+    approximate: Option<TaskBody>,
+    significance: Significance,
+    group: Option<GroupId>,
+    in_keys: Vec<DepKey>,
+    out_keys: Vec<DepKey>,
+}
+
+impl<'rt> TaskBuilder<'rt> {
+    /// `significant(expr)` — the task's significance in `[0.0, 1.0]`.
+    pub fn significance(mut self, significance: impl Into<Significance>) -> Self {
+        self.significance = significance.into();
+        self
+    }
+
+    /// `approxfun(function)` — the approximate task body executed when the
+    /// runtime opts for a non-accurate computation of the task.
+    pub fn approx<F>(mut self, body: F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.approximate = Some(Box::new(body));
+        self
+    }
+
+    /// `label(...)` by group handle.
+    pub fn group(mut self, group: &TaskGroup) -> Self {
+        self.group = Some(group.id);
+        self
+    }
+
+    /// `label(...)` by name; the group is created with a default ratio of 1.0
+    /// if it does not exist yet.
+    pub fn label(mut self, label: &str) -> Self {
+        let state = self.runtime.inner.groups.get_or_create(label, None);
+        self.group = Some(state.id);
+        self
+    }
+
+    /// `in(...)` — dependence keys this task reads.
+    pub fn reads(mut self, keys: impl IntoIterator<Item = DepKey>) -> Self {
+        self.in_keys.extend(keys);
+        self
+    }
+
+    /// `out(...)` — dependence keys this task writes.
+    pub fn writes(mut self, keys: impl IntoIterator<Item = DepKey>) -> Self {
+        self.out_keys.extend(keys);
+        self
+    }
+
+    /// Submit the task to the runtime. Returns the task's id (spawn order).
+    pub fn spawn(self) -> TaskId {
+        let inner = &self.runtime.inner;
+        let group_state = match self.group {
+            Some(id) => inner.groups.get(id),
+            None => inner.groups.get(GroupId::GLOBAL),
+        };
+        let id = TaskId(inner.next_task_id.fetch_add(1, Ordering::Relaxed));
+        let task = Arc::new(Task::new(
+            id,
+            group_state.id,
+            self.significance,
+            self.accurate,
+            self.approximate,
+            self.out_keys.clone(),
+        ));
+        inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        group_state.outstanding.fetch_add(1, Ordering::AcqRel);
+        inner.stats.record_spawn();
+
+        // Hold one phantom dependence while wiring real ones, so the task
+        // cannot be enqueued halfway through registration.
+        task.pending_deps.store(1, Ordering::Release);
+        let predecessors = inner
+            .tracker
+            .lock()
+            .register(&task, &self.in_keys, &self.out_keys);
+        let mut wired = 0usize;
+        for predecessor in predecessors {
+            let mut successors = predecessor.successors.lock();
+            if !predecessor.completed.load(Ordering::Acquire) {
+                successors.push(task.clone());
+                wired += 1;
+            }
+        }
+        if wired > 0 {
+            task.pending_deps.fetch_add(wired, Ordering::AcqRel);
+        }
+
+        match inner.policy {
+            Policy::SignificanceAgnostic => {
+                task.decide(true);
+                task.release();
+            }
+            Policy::Lqh => {
+                task.release();
+            }
+            Policy::Gtb { .. } | Policy::GtbMaxBuffer => {
+                let capacity = inner
+                    .policy
+                    .buffer_capacity()
+                    .expect("buffering policy has a capacity");
+                let mut buffer = group_state.buffer.lock();
+                buffer.push(task.clone());
+                if buffer.len() >= capacity {
+                    let tasks = std::mem::take(&mut *buffer);
+                    drop(buffer);
+                    inner.flush_tasks(&group_state, tasks);
+                }
+            }
+        }
+
+        // Drop the phantom dependence; enqueue if everything is already in
+        // place (released + no outstanding predecessors).
+        task.pending_deps.fetch_sub(1, Ordering::AcqRel);
+        inner.try_enqueue(&task);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn count_runtime(policy: Policy) -> Runtime {
+        Runtime::builder().workers(4).policy(policy).build()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let rt = Runtime::builder().workers(2).build();
+        assert_eq!(rt.workers(), 2);
+        assert_eq!(rt.policy(), Policy::SignificanceAgnostic);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Runtime::builder().workers(0);
+    }
+
+    #[test]
+    fn agnostic_runtime_runs_everything_accurately() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let accurate = Arc::new(AtomicUsize::new(0));
+        let approx = Arc::new(AtomicUsize::new(0));
+        for i in 0..64u32 {
+            let a = accurate.clone();
+            let b = approx.clone();
+            rt.task(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            })
+            .approx(move || {
+                b.fetch_add(1, Ordering::Relaxed);
+            })
+            .significance((i % 10) as f64 / 10.0)
+            .spawn();
+        }
+        rt.wait_all();
+        assert_eq!(accurate.load(Ordering::Relaxed), 64);
+        assert_eq!(approx.load(Ordering::Relaxed), 0);
+        assert_eq!(rt.stats().accurate(), 64);
+        assert_eq!(rt.stats().completed(), 64);
+    }
+
+    #[test]
+    fn gtb_respects_ratio_and_significance() {
+        let rt = count_runtime(Policy::GtbMaxBuffer);
+        let group = rt.create_group("g", 0.5);
+        let accurate = Arc::new(AtomicUsize::new(0));
+        let approx = Arc::new(AtomicUsize::new(0));
+        for i in 0..100u32 {
+            let a = accurate.clone();
+            let b = approx.clone();
+            rt.task(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            })
+            .approx(move || {
+                b.fetch_add(1, Ordering::Relaxed);
+            })
+            .significance(((i % 9) + 1) as f64 / 10.0)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.total(), 100);
+        // Max-buffer GTB has perfect information: the requested ratio is met
+        // exactly (within the ceil rounding) and no inversion happens.
+        assert!(stats.accurate >= 50 && stats.accurate <= 51, "{stats:?}");
+        assert_eq!(stats.inverted, 0);
+        assert!(stats.ratio_diff() < 0.02);
+    }
+
+    #[test]
+    fn gtb_small_buffer_still_tracks_ratio() {
+        let rt = count_runtime(Policy::Gtb { buffer_size: 10 });
+        let group = rt.create_group("g", 0.3);
+        for i in 0..200u32 {
+            rt.task(|| {})
+                .approx(|| {})
+                .significance(((i % 9) + 1) as f64 / 10.0)
+                .group(&group)
+                .spawn();
+        }
+        rt.wait_group(&group);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.total(), 200);
+        // Each 10-task window is classified independently; the overall ratio
+        // still lands on target because windows see the same distribution.
+        assert!(
+            (stats.achieved_ratio() - 0.3).abs() < 0.1,
+            "achieved {}",
+            stats.achieved_ratio()
+        );
+    }
+
+    #[test]
+    fn dropped_tasks_have_no_approx_body() {
+        let rt = count_runtime(Policy::GtbMaxBuffer);
+        let group = rt.create_group("drop", 0.0);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let r = ran.clone();
+            rt.task(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            })
+            .significance(0.5)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.dropped, 10);
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "dropped bodies must not run");
+    }
+
+    #[test]
+    fn lqh_runs_critical_tasks_accurately() {
+        let rt = count_runtime(Policy::Lqh);
+        let group = rt.create_group("lqh", 0.2);
+        let accurate = Arc::new(AtomicUsize::new(0));
+        for i in 0..50u32 {
+            let a = accurate.clone();
+            let sig = if i % 2 == 0 { 1.0 } else { 0.0 };
+            rt.task(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            })
+            .approx(|| {})
+            .significance(sig)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        // Exactly the 25 critical tasks must have run accurately.
+        assert_eq!(accurate.load(Ordering::Relaxed), 25);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.accurate, 25);
+        assert_eq!(stats.approximate, 25);
+    }
+
+    #[test]
+    fn dependencies_order_writer_before_reader() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let key = DepKey::named("value");
+        let cell = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = cell.clone();
+            rt.task(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                cell.store(42, Ordering::SeqCst);
+            })
+            .writes([key])
+            .spawn();
+        }
+        {
+            let cell = cell.clone();
+            let observed = observed.clone();
+            rt.task(move || {
+                observed.store(cell.load(Ordering::SeqCst), Ordering::SeqCst);
+            })
+            .reads([key])
+            .spawn();
+        }
+        rt.wait_all();
+        assert_eq!(observed.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn dependency_chain_executes_in_order() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let key = DepKey::named("chain");
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..16usize {
+            let log = log.clone();
+            rt.task(move || {
+                log.lock().push(i);
+            })
+            .reads([key])
+            .writes([key])
+            .spawn();
+        }
+        rt.wait_all();
+        let log = log.lock().clone();
+        assert_eq!(log, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_on_blocks_until_writers_finish() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let key = DepKey::named("result");
+        let flag = Arc::new(AtomicBool::new(false));
+        {
+            let flag = flag.clone();
+            rt.task(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                flag.store(true, Ordering::SeqCst);
+            })
+            .writes([key])
+            .spawn();
+        }
+        rt.wait_on(key);
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn wait_group_only_waits_for_that_group() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let fast = rt.create_group("fast", 1.0);
+        let slow = rt.create_group("slow", 1.0);
+        let slow_done = Arc::new(AtomicBool::new(false));
+        {
+            let slow_done = slow_done.clone();
+            rt.task(move || {
+                std::thread::sleep(Duration::from_millis(80));
+                slow_done.store(true, Ordering::SeqCst);
+            })
+            .group(&slow)
+            .spawn();
+        }
+        rt.task(|| {}).group(&fast).spawn();
+        rt.wait_group(&fast);
+        // The slow group may still be running when the fast barrier returns.
+        let fast_stats = rt.group_stats(&fast);
+        assert_eq!(fast_stats.total(), 1);
+        rt.wait_group(&slow);
+        assert!(slow_done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn ratio_at_barrier_controls_max_buffer_flush() {
+        let rt = count_runtime(Policy::GtbMaxBuffer);
+        let group = rt.create_group("late-ratio", 1.0);
+        for i in 0..40u32 {
+            rt.task(|| {})
+                .approx(|| {})
+                .significance(((i % 9) + 1) as f64 / 10.0)
+                .group(&group)
+                .spawn();
+        }
+        // The ratio arrives only at the barrier, like
+        // `#pragma omp taskwait label(...) ratio(0.25)`.
+        rt.wait_group_with_ratio(&group, 0.25);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.total(), 40);
+        assert_eq!(stats.accurate, 10);
+    }
+
+    #[test]
+    fn panicking_task_is_contained() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        rt.task(|| panic!("boom")).spawn();
+        rt.task(|| {}).spawn();
+        rt.wait_all();
+        assert_eq!(rt.panicked_tasks(), 1);
+        assert_eq!(rt.stats().completed(), 2);
+    }
+
+    #[test]
+    fn drop_flushes_and_completes_everything() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let rt = count_runtime(Policy::GtbMaxBuffer);
+            let group = rt.create_group("g", 1.0);
+            for _ in 0..32 {
+                let c = counter.clone();
+                rt.task(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+                .group(&group)
+                .spawn();
+            }
+            // No explicit barrier: dropping the runtime must flush the GTB
+            // buffer and run every task.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn stats_expose_steals_and_flushes() {
+        let rt = Runtime::builder()
+            .workers(4)
+            .policy(Policy::Gtb { buffer_size: 4 })
+            .build();
+        let group = rt.create_group("s", 1.0);
+        for _ in 0..64 {
+            rt.task(|| std::thread::sleep(Duration::from_micros(200)))
+                .group(&group)
+                .spawn();
+        }
+        rt.wait_group(&group);
+        assert!(rt.stats().buffer_flushes() >= 16);
+        assert!(rt.stats().busy_core_seconds() > 0.0);
+    }
+
+    #[test]
+    fn find_group_after_label_spawn() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        rt.task(|| {}).label("implicit").spawn();
+        rt.wait_all();
+        let group = rt.find_group("implicit").expect("group should exist");
+        assert_eq!(rt.group_stats(&group).total(), 1);
+        assert!(rt.find_group("missing").is_none());
+    }
+
+    #[test]
+    fn wait_all_with_ratio_applies_to_unlabelled_tasks() {
+        let rt = count_runtime(Policy::GtbMaxBuffer);
+        for i in 0..20u32 {
+            rt.task(|| {})
+                .approx(|| {})
+                .significance(((i % 9) + 1) as f64 / 10.0)
+                .spawn();
+        }
+        rt.wait_all_with_ratio(0.5);
+        assert_eq!(rt.stats().accurate(), 10);
+        assert_eq!(rt.stats().approximate(), 10);
+    }
+
+    #[test]
+    fn many_small_tasks_complete() {
+        let rt = Runtime::builder().workers(8).policy(Policy::Lqh).build();
+        let group = rt.create_group("many", 0.5);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..2000u32 {
+            let c = counter.clone();
+            rt.task(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .approx({
+                let c = counter.clone();
+                move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .significance(((i % 9) + 1) as f64 / 10.0)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+        assert_eq!(rt.group_stats(&group).total(), 2000);
+    }
+}

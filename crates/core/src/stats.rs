@@ -1,0 +1,351 @@
+//! Execution statistics.
+//!
+//! Two consumers drive what is collected here:
+//!
+//! * **Figure 2 / Figure 4** need makespans and busy core-time (fed into the
+//!   `sig-energy` power model) plus counts of accurately / approximately
+//!   executed and dropped tasks.
+//! * **Table 2** needs, per task group, the percentage of
+//!   *significance-inverted* tasks (a task executed approximately although a
+//!   strictly less significant task of the same group ran accurately) and the
+//!   absolute deviation of the achieved accurate-task ratio from the
+//!   requested `R_g`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::significance::SignificanceLevel;
+use crate::task::ExecutionMode;
+
+/// Per-group execution log and counters.
+#[derive(Debug, Default)]
+pub(crate) struct GroupStats {
+    accurate: AtomicUsize,
+    approximate: AtomicUsize,
+    dropped: AtomicUsize,
+    /// Log of (significance level, mode) per executed task, used for the
+    /// inversion analysis. Tasks are coarse-grained, so the lock is cold.
+    log: Mutex<Vec<(SignificanceLevel, ExecutionMode)>>,
+}
+
+impl GroupStats {
+    /// Record the completion of one task.
+    pub(crate) fn record(&self, level: SignificanceLevel, mode: ExecutionMode) {
+        match mode {
+            ExecutionMode::Accurate => self.accurate.fetch_add(1, Ordering::Relaxed),
+            ExecutionMode::Approximate => self.approximate.fetch_add(1, Ordering::Relaxed),
+            ExecutionMode::Dropped => self.dropped.fetch_add(1, Ordering::Relaxed),
+        };
+        self.log.lock().push((level, mode));
+    }
+
+    /// Produce an immutable snapshot for reporting.
+    pub(crate) fn snapshot(&self, requested_ratio: f64) -> GroupStatsSnapshot {
+        let log = self.log.lock().clone();
+        GroupStatsSnapshot::from_log(requested_ratio, log)
+    }
+}
+
+/// Immutable summary of one task group's execution, as used for Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStatsSnapshot {
+    /// The accurate-task ratio requested by the programmer (`R_g`).
+    pub requested_ratio: f64,
+    /// Number of tasks that executed their accurate body.
+    pub accurate: usize,
+    /// Number of tasks that executed their approximate body.
+    pub approximate: usize,
+    /// Number of tasks dropped (approximated without an `approxfun`).
+    pub dropped: usize,
+    /// Number of tasks counted as *significance inversions*: the minimum
+    /// number of decisions that would have to change so that no task ran
+    /// non-accurately while a strictly less significant task of the same
+    /// group ran accurately.
+    pub inverted: usize,
+    log: Vec<(SignificanceLevel, ExecutionMode)>,
+}
+
+impl GroupStatsSnapshot {
+    pub(crate) fn from_log(
+        requested_ratio: f64,
+        log: Vec<(SignificanceLevel, ExecutionMode)>,
+    ) -> Self {
+        let mut accurate = 0;
+        let mut approximate = 0;
+        let mut dropped = 0;
+        for (_, mode) in &log {
+            match mode {
+                ExecutionMode::Accurate => accurate += 1,
+                ExecutionMode::Approximate => approximate += 1,
+                ExecutionMode::Dropped => dropped += 1,
+            }
+        }
+        // "Inverted" tasks: the minimum number of decisions that would have
+        // to flip so that no task executed approximately while a *strictly*
+        // less significant task of the same group executed accurately
+        // (the constraint of Section 3.2). Computed by scanning all possible
+        // significance thresholds: for threshold τ the violations are the
+        // accurate tasks strictly below τ plus the non-accurate tasks
+        // strictly above τ; the reported count is the minimum over τ.
+        let mut accurate_hist = [0usize; crate::significance::NUM_LEVELS];
+        let mut other_hist = [0usize; crate::significance::NUM_LEVELS];
+        for (level, mode) in &log {
+            if *mode == ExecutionMode::Accurate {
+                accurate_hist[level.index()] += 1;
+            } else {
+                other_hist[level.index()] += 1;
+            }
+        }
+        let total_other: usize = other_hist.iter().sum();
+        let mut inverted = usize::MAX;
+        let mut accurate_below = 0usize;
+        let mut other_at_or_below = 0usize;
+        for level in 0..crate::significance::NUM_LEVELS {
+            other_at_or_below += other_hist[level];
+            let cost = accurate_below + (total_other - other_at_or_below);
+            inverted = inverted.min(cost);
+            accurate_below += accurate_hist[level];
+        }
+        let inverted = if log.is_empty() { 0 } else { inverted };
+        GroupStatsSnapshot {
+            requested_ratio,
+            accurate,
+            approximate,
+            dropped,
+            inverted,
+            log,
+        }
+    }
+
+    /// Total number of tasks executed in the group.
+    pub fn total(&self) -> usize {
+        self.accurate + self.approximate + self.dropped
+    }
+
+    /// Fraction of tasks that executed accurately, in `[0, 1]`. Returns the
+    /// requested ratio when the group is empty (an empty group trivially
+    /// satisfies its constraint).
+    pub fn achieved_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            self.requested_ratio
+        } else {
+            self.accurate as f64 / total as f64
+        }
+    }
+
+    /// `|requested − achieved|`, the per-group contribution to Table 2's
+    /// "Average Ratio Diff" column.
+    pub fn ratio_diff(&self) -> f64 {
+        (self.requested_ratio - self.achieved_ratio()).abs()
+    }
+
+    /// Percentage (0–100) of tasks counted as significance inversions,
+    /// Table 2's "Inversed Significance Tasks" column.
+    pub fn inversion_percentage(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.inverted as f64 / total as f64
+        }
+    }
+
+    /// Raw execution log: one `(significance level, mode)` entry per task.
+    pub fn log(&self) -> &[(SignificanceLevel, ExecutionMode)] {
+        &self.log
+    }
+}
+
+/// Whole-runtime counters: totals across all groups plus scheduler-internal
+/// event counts used to evaluate policy overhead (Figure 4 discussion).
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    spawned: AtomicUsize,
+    completed: AtomicUsize,
+    accurate: AtomicUsize,
+    approximate: AtomicUsize,
+    dropped: AtomicUsize,
+    steals: AtomicUsize,
+    buffer_flushes: AtomicUsize,
+    busy_nanos: AtomicU64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn record_spawn(&self) {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_execution(&self, mode: ExecutionMode, busy: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match mode {
+            ExecutionMode::Accurate => self.accurate.fetch_add(1, Ordering::Relaxed),
+            ExecutionMode::Approximate => self.approximate.fetch_add(1, Ordering::Relaxed),
+            ExecutionMode::Dropped => self.dropped.fetch_add(1, Ordering::Relaxed),
+        };
+        self.busy_nanos
+            .fetch_add(busy.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_flush(&self) {
+        self.buffer_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of tasks spawned so far.
+    pub fn spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks that have finished (in any mode).
+    pub fn completed(&self) -> usize {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks that executed their accurate body.
+    pub fn accurate(&self) -> usize {
+        self.accurate.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks that executed their approximate body.
+    pub fn approximate(&self) -> usize {
+        self.approximate.load(Ordering::Relaxed)
+    }
+
+    /// Number of dropped tasks.
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of successful work-steal operations.
+    pub fn steals(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Number of GTB buffer flushes performed.
+    pub fn buffer_flushes(&self) -> usize {
+        self.buffer_flushes.load(Ordering::Relaxed)
+    }
+
+    /// Total time spent executing task bodies, summed over all workers.
+    pub fn busy_core_seconds(&self) -> f64 {
+        self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(l: u8) -> SignificanceLevel {
+        SignificanceLevel::new(l)
+    }
+
+    #[test]
+    fn empty_snapshot_is_trivially_satisfied() {
+        let snap = GroupStatsSnapshot::from_log(0.5, Vec::new());
+        assert_eq!(snap.total(), 0);
+        assert_eq!(snap.achieved_ratio(), 0.5);
+        assert_eq!(snap.ratio_diff(), 0.0);
+        assert_eq!(snap.inversion_percentage(), 0.0);
+    }
+
+    #[test]
+    fn counts_by_mode() {
+        let stats = GroupStats::default();
+        stats.record(level(90), ExecutionMode::Accurate);
+        stats.record(level(50), ExecutionMode::Approximate);
+        stats.record(level(10), ExecutionMode::Dropped);
+        let snap = stats.snapshot(0.33);
+        assert_eq!(snap.accurate, 1);
+        assert_eq!(snap.approximate, 1);
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.total(), 3);
+    }
+
+    #[test]
+    fn achieved_ratio_and_diff() {
+        let stats = GroupStats::default();
+        for _ in 0..7 {
+            stats.record(level(80), ExecutionMode::Accurate);
+        }
+        for _ in 0..3 {
+            stats.record(level(20), ExecutionMode::Approximate);
+        }
+        let snap = stats.snapshot(0.5);
+        assert!((snap.achieved_ratio() - 0.7).abs() < 1e-12);
+        assert!((snap.ratio_diff() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_inversions_when_order_respected() {
+        // Accurate tasks are all at least as significant as approximated ones.
+        let log = vec![
+            (level(90), ExecutionMode::Accurate),
+            (level(70), ExecutionMode::Accurate),
+            (level(70), ExecutionMode::Approximate),
+            (level(10), ExecutionMode::Dropped),
+        ];
+        let snap = GroupStatsSnapshot::from_log(0.5, log);
+        assert_eq!(snap.inverted, 0);
+        assert_eq!(snap.inversion_percentage(), 0.0);
+    }
+
+    #[test]
+    fn inversions_detected() {
+        // A level-80 task was approximated while a level-20 task ran
+        // accurately: that is one inversion.
+        let log = vec![
+            (level(20), ExecutionMode::Accurate),
+            (level(80), ExecutionMode::Approximate),
+            (level(10), ExecutionMode::Approximate),
+        ];
+        let snap = GroupStatsSnapshot::from_log(0.33, log);
+        assert_eq!(snap.inverted, 1);
+        assert!((snap.inversion_percentage() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_approximate_has_no_inversions() {
+        let log = vec![
+            (level(80), ExecutionMode::Approximate),
+            (level(10), ExecutionMode::Dropped),
+        ];
+        let snap = GroupStatsSnapshot::from_log(0.0, log);
+        assert_eq!(snap.inverted, 0);
+        assert_eq!(snap.achieved_ratio(), 0.0);
+        assert_eq!(snap.ratio_diff(), 0.0);
+    }
+
+    #[test]
+    fn runtime_stats_accumulate() {
+        let stats = RuntimeStats::default();
+        stats.record_spawn();
+        stats.record_spawn();
+        stats.record_execution(ExecutionMode::Accurate, Duration::from_millis(10));
+        stats.record_execution(ExecutionMode::Dropped, Duration::from_millis(0));
+        stats.record_steal();
+        stats.record_flush();
+        assert_eq!(stats.spawned(), 2);
+        assert_eq!(stats.completed(), 2);
+        assert_eq!(stats.accurate(), 1);
+        assert_eq!(stats.dropped(), 1);
+        assert_eq!(stats.approximate(), 0);
+        assert_eq!(stats.steals(), 1);
+        assert_eq!(stats.buffer_flushes(), 1);
+        assert!(stats.busy_core_seconds() >= 0.01);
+    }
+
+    #[test]
+    fn snapshot_log_is_preserved() {
+        let stats = GroupStats::default();
+        stats.record(level(42), ExecutionMode::Accurate);
+        let snap = stats.snapshot(1.0);
+        assert_eq!(snap.log(), &[(level(42), ExecutionMode::Accurate)]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Task descriptors: the runtime's internal representation of a spawned task.
+//!
+//! A task carries (Section 2 / 3.1 of the paper):
+//!
+//! * its **significance**,
+//! * an **accurate body** and an optional **approximate body** (`approxfun`),
+//! * the **task group** it belongs to (`label`),
+//! * its **data footprint** (`in`/`out` dependence keys),
+//! * scheduling state: how many predecessors are still outstanding, whether
+//!   the master has released it to the workers (GTB buffering), and the
+//!   execution-mode decision once it has been made.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::deps::DepKey;
+use crate::group::GroupId;
+use crate::significance::Significance;
+
+/// Unique identifier of a spawned task, in program (spawn) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) u64);
+
+impl TaskId {
+    /// The raw spawn-order index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// A task body: an arbitrary `FnOnce` closure executed on a worker thread.
+pub type TaskBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// How a task was (or will be) executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// The accurate body ran.
+    Accurate,
+    /// The approximate (`approxfun`) body ran.
+    Approximate,
+    /// The task was selected for approximation but had no approximate body,
+    /// so it was dropped entirely (Section 2: "it is simply dropped by the
+    /// runtime").
+    Dropped,
+}
+
+const MODE_UNDECIDED: u8 = 0;
+const MODE_ACCURATE: u8 = 1;
+const MODE_APPROXIMATE: u8 = 2;
+
+/// Internal state of a spawned task, shared between the master thread, the
+/// dependence tracker and the workers.
+pub(crate) struct Task {
+    pub(crate) id: TaskId,
+    pub(crate) group: GroupId,
+    pub(crate) significance: Significance,
+    /// Accurate body; taken (at most once) when the task executes.
+    pub(crate) accurate: Mutex<Option<TaskBody>>,
+    /// Optional approximate body; taken when the task executes approximately.
+    pub(crate) approximate: Mutex<Option<TaskBody>>,
+    /// Execution-mode decision (GTB decides at flush time, LQH at execution
+    /// time). `MODE_UNDECIDED` until then.
+    mode: AtomicU8,
+    /// Number of yet-uncompleted predecessor tasks.
+    pub(crate) pending_deps: AtomicUsize,
+    /// Whether the master has released the task towards the worker queues
+    /// (GTB holds tasks back until its buffer flushes).
+    pub(crate) released: AtomicBool,
+    /// Guard so a task is enqueued into a worker queue exactly once even if
+    /// the release path and the last-dependence-completion path race.
+    pub(crate) enqueued: AtomicBool,
+    /// Set once the task has finished executing (in any mode). Read and
+    /// written under the `successors` lock by the registration/completion
+    /// paths so late successors never wait on an already-finished task.
+    pub(crate) completed: AtomicBool,
+    /// Tasks that must be notified when this task completes.
+    pub(crate) successors: Mutex<Vec<Arc<Task>>>,
+    /// Output keys (needed to release `taskwait on(...)` waiters).
+    pub(crate) out_keys: Vec<DepKey>,
+}
+
+impl Task {
+    pub(crate) fn new(
+        id: TaskId,
+        group: GroupId,
+        significance: Significance,
+        accurate: TaskBody,
+        approximate: Option<TaskBody>,
+        out_keys: Vec<DepKey>,
+    ) -> Self {
+        Task {
+            id,
+            group,
+            significance,
+            accurate: Mutex::new(Some(accurate)),
+            approximate: Mutex::new(approximate),
+            mode: AtomicU8::new(MODE_UNDECIDED),
+            pending_deps: AtomicUsize::new(0),
+            released: AtomicBool::new(false),
+            enqueued: AtomicBool::new(false),
+            completed: AtomicBool::new(false),
+            successors: Mutex::new(Vec::new()),
+            out_keys,
+        }
+    }
+
+    /// Whether an approximate body was supplied at spawn time.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn has_approx_body(&self) -> bool {
+        self.approximate.lock().is_some()
+    }
+
+    /// Record the accurate/approximate decision. The first decision wins;
+    /// later attempts are ignored (they can arise when a GTB flush races with
+    /// a barrier flush of the same group).
+    pub(crate) fn decide(&self, accurate: bool) {
+        let value = if accurate { MODE_ACCURATE } else { MODE_APPROXIMATE };
+        let _ = self.mode.compare_exchange(
+            MODE_UNDECIDED,
+            value,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The decision made so far, if any. `Some(true)` means accurate.
+    pub(crate) fn decision(&self) -> Option<bool> {
+        match self.mode.load(Ordering::Acquire) {
+            MODE_ACCURATE => Some(true),
+            MODE_APPROXIMATE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Mark the task as released by the master (GTB flush or immediate
+    /// release). Returns `true` the first time.
+    pub(crate) fn release(&self) -> bool {
+        !self.released.swap(true, Ordering::AcqRel)
+    }
+
+    /// Whether the task has been released towards the worker queues.
+    pub(crate) fn is_released(&self) -> bool {
+        self.released.load(Ordering::Acquire)
+    }
+
+    /// Whether all predecessors have completed.
+    pub(crate) fn is_ready(&self) -> bool {
+        self.pending_deps.load(Ordering::Acquire) == 0
+    }
+
+    /// Atomically claim the right to enqueue this task. Returns `true` for
+    /// exactly one caller.
+    pub(crate) fn claim_enqueue(&self) -> bool {
+        !self.enqueued.swap(true, Ordering::AcqRel)
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("group", &self.group)
+            .field("significance", &self.significance)
+            .field("decision", &self.decision())
+            .field("pending_deps", &self.pending_deps.load(Ordering::Relaxed))
+            .field("released", &self.is_released())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_task(significance: f64) -> Task {
+        Task::new(
+            TaskId(0),
+            GroupId::GLOBAL,
+            Significance::new(significance),
+            Box::new(|| {}),
+            None,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn new_task_is_undecided_unreleased_ready() {
+        let t = dummy_task(0.5);
+        assert_eq!(t.decision(), None);
+        assert!(!t.is_released());
+        assert!(t.is_ready());
+        assert!(!t.has_approx_body());
+    }
+
+    #[test]
+    fn first_decision_wins() {
+        let t = dummy_task(0.5);
+        t.decide(true);
+        assert_eq!(t.decision(), Some(true));
+        t.decide(false);
+        assert_eq!(t.decision(), Some(true), "later decisions must not override");
+    }
+
+    #[test]
+    fn release_returns_true_once() {
+        let t = dummy_task(0.2);
+        assert!(t.release());
+        assert!(!t.release());
+        assert!(t.is_released());
+    }
+
+    #[test]
+    fn claim_enqueue_is_exclusive() {
+        let t = dummy_task(0.2);
+        assert!(t.claim_enqueue());
+        assert!(!t.claim_enqueue());
+    }
+
+    #[test]
+    fn approx_body_detection() {
+        let t = Task::new(
+            TaskId(1),
+            GroupId::GLOBAL,
+            Significance::new(0.3),
+            Box::new(|| {}),
+            Some(Box::new(|| {})),
+            Vec::new(),
+        );
+        assert!(t.has_approx_body());
+    }
+
+    #[test]
+    fn pending_deps_tracking() {
+        let t = dummy_task(0.7);
+        t.pending_deps.store(2, Ordering::Release);
+        assert!(!t.is_ready());
+        t.pending_deps.fetch_sub(1, Ordering::AcqRel);
+        assert!(!t.is_ready());
+        t.pending_deps.fetch_sub(1, Ordering::AcqRel);
+        assert!(t.is_ready());
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let t = dummy_task(0.4);
+        assert!(!format!("{t:?}").is_empty());
+    }
+
+    #[test]
+    fn task_id_ordering_matches_spawn_order() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(TaskId(7).index(), 7);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dynamic voltage/frequency scaling (DVFS) hook.
+//!
+//! Section 6 of the paper lists "DVFS in conjunction with suitable runtime
+//! policies for executing approximate (and more light-weight) task versions on
+//! the slower but also less power-hungry CPUs" as future work. This module
+//! provides the modelling hook for exploring that scenario: a frequency scale
+//! that adjusts both execution time and active power using the classic
+//! `P ∝ f·V²` (≈ cubic in frequency when voltage tracks frequency) rule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::PowerModel;
+
+/// A relative CPU frequency setting.
+///
+/// `1.0` is nominal frequency. Values below one slow execution down but lower
+/// the per-core active power superlinearly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyScale {
+    ratio: f64,
+    /// Exponent applied to the frequency ratio when scaling active power.
+    /// The default of 2.4 sits between the pure-dynamic `f·V² ≈ f³` model and
+    /// the linear leakage-dominated regime.
+    power_exponent: f64,
+}
+
+impl FrequencyScale {
+    /// Create a scale at the given frequency ratio with the default power
+    /// exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not in `(0, 1.5]` (turbo beyond 1.5× nominal is
+    /// outside the model's validity range).
+    pub fn new(ratio: f64) -> Self {
+        Self::with_exponent(ratio, 2.4)
+    }
+
+    /// Create a scale with an explicit power exponent.
+    pub fn with_exponent(ratio: f64, power_exponent: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.5,
+            "frequency ratio must be in (0, 1.5], got {ratio}"
+        );
+        assert!(power_exponent >= 1.0, "power exponent must be >= 1");
+        FrequencyScale {
+            ratio,
+            power_exponent,
+        }
+    }
+
+    /// Nominal frequency (no scaling).
+    pub fn nominal() -> Self {
+        FrequencyScale::new(1.0)
+    }
+
+    /// The frequency ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// How much longer a CPU-bound region takes at this frequency.
+    pub fn time_dilation(&self) -> f64 {
+        1.0 / self.ratio
+    }
+
+    /// Multiplier applied to per-core active power at this frequency.
+    pub fn power_factor(&self) -> f64 {
+        self.ratio.powf(self.power_exponent)
+    }
+
+    /// Derive a new [`PowerModel`] whose active-core power reflects this
+    /// frequency setting. Static and idle power are unchanged (they are
+    /// largely frequency-independent).
+    pub fn apply(&self, model: &PowerModel) -> PowerModel {
+        PowerModel {
+            active_watts_per_core: model.active_watts_per_core * self.power_factor(),
+            ..*model
+        }
+    }
+
+    /// Energy factor for a fixed amount of CPU-bound work executed entirely
+    /// on active cores at this frequency, ignoring static power:
+    /// `time_dilation · power_factor`.
+    ///
+    /// Values below 1 mean the frequency reduction saves dynamic energy for
+    /// that work (the usual DVFS trade-off ignoring race-to-idle).
+    pub fn dynamic_energy_factor(&self) -> f64 {
+        self.time_dilation() * self.power_factor()
+    }
+}
+
+impl Default for FrequencyScale {
+    fn default() -> Self {
+        FrequencyScale::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        let s = FrequencyScale::nominal();
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.time_dilation(), 1.0);
+        assert!((s.power_factor() - 1.0).abs() < 1e-12);
+        assert!((s.dynamic_energy_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_frequency_lowers_power_superlinearly() {
+        let s = FrequencyScale::new(0.5);
+        assert!(s.power_factor() < 0.5);
+        assert_eq!(s.time_dilation(), 2.0);
+        // Dynamic energy per unit of work drops despite the longer runtime.
+        assert!(s.dynamic_energy_factor() < 1.0);
+    }
+
+    #[test]
+    fn apply_scales_only_active_power() {
+        let base = PowerModel::xeon_e5_2650_dual_socket();
+        let scaled = FrequencyScale::new(0.5).apply(&base);
+        assert!(scaled.active_watts_per_core < base.active_watts_per_core);
+        assert_eq!(scaled.idle_watts_per_core, base.idle_watts_per_core);
+        assert_eq!(scaled.static_watts_per_socket, base.static_watts_per_socket);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency ratio")]
+    fn zero_ratio_panics() {
+        FrequencyScale::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency ratio")]
+    fn excessive_turbo_panics() {
+        FrequencyScale::new(2.0);
+    }
+
+    #[test]
+    fn linear_exponent_gives_no_dynamic_saving() {
+        let s = FrequencyScale::with_exponent(0.5, 1.0);
+        assert!((s.dynamic_energy_factor() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! `sig-experiments` — command-line driver regenerating the paper's tables
+//! and figures.
+//!
+//! ```text
+//! sig-experiments table1
+//! sig-experiments fig1  [output-dir]
+//! sig-experiments fig2  [benchmark] [--csv]
+//! sig-experiments fig3  [output-dir]
+//! sig-experiments fig4  [benchmark]
+//! sig-experiments table2 [benchmark]
+//! sig-experiments all   [output-dir]
+//! ```
+
+use std::path::PathBuf;
+
+use sig_harness::experiment::ExperimentDefaults;
+use sig_harness::{fig1, fig2, fig3, fig4, report, table1, table2};
+use sig_kernels::sobel::Sobel;
+
+fn print_usage() {
+    eprintln!(
+        "usage: sig-experiments <table1|fig1|fig2|fig3|fig4|table2|all> [benchmark|output-dir] [--csv]"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        std::process::exit(1);
+    };
+    let csv = args.iter().any(|a| a == "--csv");
+    let extra: Option<&str> = args
+        .get(1)
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"));
+    let defaults = ExperimentDefaults::default();
+
+    match command.as_str() {
+        "table1" => {
+            println!("Table 1: benchmark configuration\n");
+            println!("{}", table1::render());
+        }
+        "fig1" => {
+            let dir = PathBuf::from(extra.unwrap_or("experiment-output"));
+            let sobel = Sobel::default();
+            let out = fig1::generate_and_save(&sobel, &defaults, &dir)
+                .expect("failed to write Figure 1 image");
+            println!("Figure 1: Sobel under increasing approximation");
+            println!("image written to {}", dir.join("fig1_sobel.pgm").display());
+            for q in &out.quadrants {
+                println!("  {:<10} PSNR = {:.2} dB", q.label, q.psnr_db);
+            }
+        }
+        "fig3" => {
+            let dir = PathBuf::from(extra.unwrap_or("experiment-output"));
+            let sobel = Sobel::default();
+            let out = fig3::generate_and_save(&sobel, &defaults, &dir)
+                .expect("failed to write Figure 3 image");
+            println!("Figure 3: Sobel under loop perforation");
+            println!(
+                "image written to {}",
+                dir.join("fig3_sobel_perforation.pgm").display()
+            );
+            for level in &out.levels {
+                println!(
+                    "  drop {:>5.0}%  PSNR = {:.2} dB",
+                    level.dropped_fraction * 100.0,
+                    level.psnr_db
+                );
+            }
+        }
+        "fig2" => {
+            println!("Figure 2: execution time, energy and quality\n");
+            let points = fig2::run(extra, &defaults);
+            if csv {
+                print!("{}", report::to_csv(&points));
+            } else {
+                print!("{}", report::to_table(&points));
+            }
+        }
+        "fig4" => {
+            println!("Figure 4: runtime overhead at 100% accuracy (normalised time)\n");
+            let rows = fig4::run(extra, &defaults);
+            print!("{}", fig4::render(&rows));
+        }
+        "table2" => {
+            println!("Table 2: policy accuracy (Medium degree)\n");
+            let rows = table2::run(extra, &defaults);
+            print!("{}", table2::render(&rows));
+        }
+        "all" => {
+            let dir = PathBuf::from(extra.unwrap_or("experiment-output"));
+            println!("Table 1\n{}", table1::render());
+            let sobel = Sobel::default();
+            fig1::generate_and_save(&sobel, &defaults, &dir).expect("fig1");
+            fig3::generate_and_save(&sobel, &defaults, &dir).expect("fig3");
+            println!("Figure 1 / Figure 3 images written to {}", dir.display());
+            let points = fig2::run(None, &defaults);
+            println!("\nFigure 2\n{}", report::to_table(&points));
+            std::fs::create_dir_all(&dir).expect("output dir");
+            std::fs::write(dir.join("fig2.csv"), report::to_csv(&points)).expect("fig2.csv");
+            let rows = fig4::run(None, &defaults);
+            println!("\nFigure 4\n{}", fig4::render(&rows));
+            let rows = table2::run(None, &defaults);
+            println!("\nTable 2\n{}", table2::render(&rows));
+        }
+        _ => {
+            print_usage();
+            std::process::exit(1);
+        }
+    }
+}

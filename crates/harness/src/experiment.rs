@@ -1,0 +1,223 @@
+//! Common experiment plumbing: which policies are compared, how a single
+//! benchmark run is turned into a measured data point, and the defaults used
+//! across figures.
+
+use serde::{Deserialize, Serialize};
+
+use sig_core::Policy;
+use sig_energy::PowerModel;
+use sig_kernels::{Approach, Benchmark, Degree, ExecutionConfig, RunOutput};
+use sig_quality::QualityScore;
+
+/// The policy configurations compared throughout the evaluation, matching
+/// the paper's legend: GTB with a user-defined (bounded) buffer, GTB with an
+/// unbounded buffer, and LQH.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyChoice {
+    /// Global task buffering with the user-defined (bounded) buffer size.
+    GtbUserBuffer,
+    /// Global task buffering with an unbounded buffer ("Max Buffer GTB").
+    GtbMaxBuffer,
+    /// Local queue history.
+    Lqh,
+}
+
+impl PolicyChoice {
+    /// The three policies in the order the paper's figures show them.
+    pub const ALL: [PolicyChoice; 3] = [
+        PolicyChoice::GtbUserBuffer,
+        PolicyChoice::GtbMaxBuffer,
+        PolicyChoice::Lqh,
+    ];
+
+    /// Label used in figures and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyChoice::GtbUserBuffer => "GTB",
+            PolicyChoice::GtbMaxBuffer => "GTB(MaxBuffer)",
+            PolicyChoice::Lqh => "LQH",
+        }
+    }
+
+    /// Convert into a concrete runtime [`Policy`], using the given bounded
+    /// buffer size for the user-defined GTB flavour.
+    pub fn to_policy(self, gtb_buffer: usize) -> Policy {
+        match self {
+            PolicyChoice::GtbUserBuffer => Policy::Gtb {
+                buffer_size: gtb_buffer,
+            },
+            PolicyChoice::GtbMaxBuffer => Policy::GtbMaxBuffer,
+            PolicyChoice::Lqh => Policy::Lqh,
+        }
+    }
+}
+
+/// Shared experiment defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentDefaults {
+    /// Worker threads used by task-parallel runs.
+    pub workers: usize,
+    /// Buffer size of the bounded GTB flavour (the paper sets this per
+    /// benchmark at compile time; one moderate value is used here).
+    pub gtb_buffer: usize,
+    /// Power model used to convert (makespan, busy core-time) into joules.
+    pub power_model: PowerModel,
+}
+
+impl Default for ExperimentDefaults {
+    fn default() -> Self {
+        ExperimentDefaults {
+            workers: ExecutionConfig::default_workers(),
+            gtb_buffer: 32,
+            power_model: PowerModel::for_host(),
+        }
+    }
+}
+
+/// One measured data point: a (benchmark, variant) pair with its makespan,
+/// modelled energy and output quality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Variant label ("accurate", "perforation", or a policy label).
+    pub variant: String,
+    /// Approximation degree, if the variant has one.
+    pub degree: Option<String>,
+    /// Wall-clock execution time in seconds.
+    pub time_seconds: f64,
+    /// Modelled energy in joules.
+    pub energy_joules: f64,
+    /// Output quality (lower is better; PSNR⁻¹ or relative error %).
+    pub quality: f64,
+    /// Label of the quality metric.
+    pub quality_metric: String,
+    /// Fraction of tasks executed accurately (1.0 for serial runs).
+    pub accurate_fraction: f64,
+}
+
+impl ExperimentPoint {
+    /// Build a data point from a run, comparing its output against the
+    /// reference run for quality.
+    pub fn from_run(
+        benchmark: &dyn Benchmark,
+        variant: &str,
+        degree: Option<Degree>,
+        defaults: &ExperimentDefaults,
+        reference: &RunOutput,
+        run: &RunOutput,
+    ) -> Self {
+        let quality: QualityScore = benchmark.quality(reference, run);
+        let energy = defaults
+            .power_model
+            .energy_joules(run.elapsed.as_secs_f64(), run.busy_core_seconds);
+        let accurate_fraction = if run.tasks.total == 0 {
+            1.0
+        } else {
+            run.tasks.accurate as f64 / run.tasks.total as f64
+        };
+        ExperimentPoint {
+            benchmark: benchmark.name().to_string(),
+            variant: variant.to_string(),
+            degree: degree.map(|d| d.name().to_string()),
+            time_seconds: run.elapsed.as_secs_f64(),
+            energy_joules: energy,
+            quality: quality.value,
+            quality_metric: benchmark.info().metric.label().to_string(),
+            accurate_fraction,
+        }
+    }
+}
+
+/// Run one benchmark variant and produce its data point.
+pub fn measure(
+    benchmark: &dyn Benchmark,
+    approach: Approach,
+    defaults: &ExperimentDefaults,
+    reference: &RunOutput,
+) -> ExperimentPoint {
+    let config = ExecutionConfig {
+        workers: defaults.workers,
+        approach,
+    };
+    let run = benchmark.run(&config);
+    let (variant, degree) = match approach {
+        Approach::Accurate => ("accurate".to_string(), None),
+        Approach::Significance { policy, degree } => (policy.name().to_string(), Some(degree)),
+        Approach::Perforation { degree } => ("perforation".to_string(), Some(degree)),
+    };
+    ExperimentPoint::from_run(benchmark, &variant, degree, defaults, reference, &run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sig_kernels::sobel::Sobel;
+
+    fn tiny_sobel() -> Sobel {
+        Sobel {
+            width: 64,
+            height: 64,
+        }
+    }
+
+    #[test]
+    fn policy_choice_labels_and_conversion() {
+        assert_eq!(PolicyChoice::GtbUserBuffer.label(), "GTB");
+        assert_eq!(PolicyChoice::Lqh.to_policy(8), Policy::Lqh);
+        assert_eq!(
+            PolicyChoice::GtbUserBuffer.to_policy(8),
+            Policy::Gtb { buffer_size: 8 }
+        );
+        assert_eq!(PolicyChoice::GtbMaxBuffer.to_policy(8), Policy::GtbMaxBuffer);
+        assert_eq!(PolicyChoice::ALL.len(), 3);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let d = ExperimentDefaults::default();
+        assert!(d.workers >= 1);
+        assert!(d.gtb_buffer >= 1);
+        assert!(d.power_model.total_cores() >= 1);
+    }
+
+    #[test]
+    fn measure_produces_consistent_point() {
+        let sobel = tiny_sobel();
+        let defaults = ExperimentDefaults {
+            workers: 2,
+            ..Default::default()
+        };
+        let reference = sobel.run(&ExecutionConfig::accurate(2));
+        let point = measure(
+            &sobel,
+            Approach::Significance {
+                policy: Policy::GtbMaxBuffer,
+                degree: Degree::Medium,
+            },
+            &defaults,
+            &reference,
+        );
+        assert_eq!(point.benchmark, "Sobel");
+        assert_eq!(point.variant, "GTB(MaxBuffer)");
+        assert_eq!(point.degree.as_deref(), Some("Medium"));
+        assert!(point.time_seconds > 0.0);
+        assert!(point.energy_joules > 0.0);
+        assert!(point.quality >= 0.0);
+        assert!((0.0..=1.0).contains(&point.accurate_fraction));
+    }
+
+    #[test]
+    fn accurate_reference_has_perfect_quality() {
+        let sobel = tiny_sobel();
+        let defaults = ExperimentDefaults {
+            workers: 2,
+            ..Default::default()
+        };
+        let reference = sobel.run(&ExecutionConfig::accurate(2));
+        let point = measure(&sobel, Approach::Accurate, &defaults, &reference);
+        assert_eq!(point.quality, 0.0);
+        assert_eq!(point.variant, "accurate");
+        assert_eq!(point.accurate_fraction, 1.0);
+    }
+}

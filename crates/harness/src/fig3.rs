@@ -1,0 +1,127 @@
+//! Figure 3: Sobel output under loop perforation.
+//!
+//! Quadrants: accurate, 20% perforation, 70% perforation, 100% perforation
+//! (upper-left, upper-right, lower-left, lower-right). Contrasted with
+//! Figure 1, this shows why significance-driven approximation degrades far
+//! more gracefully than blindly dropping iterations.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use sig_kernels::sobel::Sobel;
+use sig_quality::{psnr, GrayImage};
+
+use crate::experiment::ExperimentDefaults;
+
+/// PSNR of one perforation level against the accurate Sobel output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerforationQuality {
+    /// Fraction of loop iterations dropped.
+    pub dropped_fraction: f64,
+    /// PSNR in dB against the accurate output.
+    pub psnr_db: f64,
+}
+
+/// Result of the Figure 3 generation.
+#[derive(Debug)]
+pub struct Fig3Output {
+    /// The composed quadrant image.
+    pub image: GrayImage,
+    /// Per-quadrant quality.
+    pub levels: Vec<PerforationQuality>,
+}
+
+/// Generate the Figure 3 composition (perforation of 0%, 20%, 70% and 100%
+/// of the row loop).
+pub fn generate(sobel: &Sobel, _defaults: &ExperimentDefaults) -> Fig3Output {
+    let accurate = sobel.run_perforated(1.0);
+    let p20 = sobel.run_perforated(0.8);
+    let p70 = sobel.run_perforated(0.3);
+    let p100 = sobel.run_perforated(0.0);
+
+    let image = GrayImage::quadrants(
+        &sobel.output_image(&accurate.values),
+        &sobel.output_image(&p20.values),
+        &sobel.output_image(&p70.values),
+        &sobel.output_image(&p100.values),
+    );
+    let levels = vec![
+        PerforationQuality {
+            dropped_fraction: 0.0,
+            psnr_db: f64::INFINITY,
+        },
+        PerforationQuality {
+            dropped_fraction: 0.2,
+            psnr_db: psnr(&accurate.values, &p20.values, 255.0),
+        },
+        PerforationQuality {
+            dropped_fraction: 0.7,
+            psnr_db: psnr(&accurate.values, &p70.values, 255.0),
+        },
+        PerforationQuality {
+            dropped_fraction: 1.0,
+            psnr_db: psnr(&accurate.values, &p100.values, 255.0),
+        },
+    ];
+    Fig3Output { image, levels }
+}
+
+/// Generate Figure 3 and write the composed image to
+/// `<dir>/fig3_sobel_perforation.pgm`.
+pub fn generate_and_save(
+    sobel: &Sobel,
+    defaults: &ExperimentDefaults,
+    dir: &Path,
+) -> std::io::Result<Fig3Output> {
+    let output = generate(sobel, defaults);
+    std::fs::create_dir_all(dir)?;
+    output.image.save_pgm(dir.join("fig3_sobel_perforation.pgm"))?;
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig1;
+
+    #[test]
+    fn heavier_perforation_means_lower_psnr() {
+        let sobel = Sobel {
+            width: 96,
+            height: 96,
+        };
+        let defaults = ExperimentDefaults {
+            workers: 2,
+            ..Default::default()
+        };
+        let out = generate(&sobel, &defaults);
+        assert_eq!(out.levels.len(), 4);
+        assert!(out.levels[1].psnr_db >= out.levels[2].psnr_db);
+        assert!(out.levels[2].psnr_db >= out.levels[3].psnr_db);
+    }
+
+    #[test]
+    fn perforation_is_worse_than_significance_at_comparable_work() {
+        // Figure 1 vs Figure 3, the paper's qualitative claim: at the same
+        // amount of accurate work (30% of rows), the significance version
+        // (Medium degree, approximates the rest) beats perforation (drops
+        // the rest).
+        let sobel = Sobel {
+            width: 96,
+            height: 96,
+        };
+        let defaults = ExperimentDefaults {
+            workers: 2,
+            ..Default::default()
+        };
+        let ours = fig1::generate(&sobel, &defaults);
+        let perforated = generate(&sobel, &defaults);
+        let ours_medium = ours.quadrants[2].psnr_db;
+        let perf_70 = perforated.levels[2].psnr_db;
+        assert!(
+            ours_medium > perf_70,
+            "significance Medium ({ours_medium} dB) should beat 70% perforation ({perf_70} dB)"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Report rendering: turn experiment points into CSV and aligned text tables.
+
+use crate::experiment::ExperimentPoint;
+
+/// Render experiment points as CSV (one row per point), with a header.
+pub fn to_csv(points: &[ExperimentPoint]) -> String {
+    let mut out = String::from(
+        "benchmark,variant,degree,time_seconds,energy_joules,quality,quality_metric,accurate_fraction\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.3},{:.6},{},{:.4}\n",
+            p.benchmark,
+            p.variant,
+            p.degree.as_deref().unwrap_or("-"),
+            p.time_seconds,
+            p.energy_joules,
+            p.quality,
+            p.quality_metric,
+            p.accurate_fraction
+        ));
+    }
+    out
+}
+
+/// Render experiment points as an aligned, human-readable table.
+pub fn to_table(points: &[ExperimentPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<16} {:<8} {:>12} {:>14} {:>12} {:>8}\n",
+        "benchmark", "variant", "degree", "time (s)", "energy (J)", "quality", "acc.frac"
+    ));
+    out.push_str(&"-".repeat(90));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{:<14} {:<16} {:<8} {:>12.4} {:>14.2} {:>12.5} {:>8.2}\n",
+            p.benchmark,
+            p.variant,
+            p.degree.as_deref().unwrap_or("-"),
+            p.time_seconds,
+            p.energy_joules,
+            p.quality,
+            p.accurate_fraction
+        ));
+    }
+    out
+}
+
+/// Render a generic named-column table (used by Table 1 / Table 2 /
+/// Figure 4 reports).
+pub fn generic_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> ExperimentPoint {
+        ExperimentPoint {
+            benchmark: "Sobel".into(),
+            variant: "LQH".into(),
+            degree: Some("Mild".into()),
+            time_seconds: 0.123,
+            energy_joules: 45.6,
+            quality: 0.01,
+            quality_metric: "PSNR^-1".into(),
+            accurate_fraction: 0.8,
+        }
+    }
+
+    #[test]
+    fn csv_contains_header_and_row() {
+        let csv = to_csv(&[point()]);
+        assert!(csv.starts_with("benchmark,variant"));
+        assert!(csv.contains("Sobel,LQH,Mild"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn table_is_aligned_and_contains_data() {
+        let table = to_table(&[point()]);
+        assert!(table.contains("Sobel"));
+        assert!(table.contains("LQH"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn generic_table_adapts_widths() {
+        let table = generic_table(
+            &["name", "value"],
+            &[
+                vec!["a-very-long-name".into(), "1".into()],
+                vec!["b".into(), "2".into()],
+            ],
+        );
+        assert!(table.contains("a-very-long-name"));
+        assert!(table.lines().count() == 4);
+    }
+}

@@ -1,0 +1,58 @@
+//! Table 1: benchmark configuration (approximate-or-drop, approximation
+//! degrees, quality metric).
+
+use sig_kernels::all_benchmarks;
+
+use crate::report::generic_table;
+
+/// Render Table 1 from the benchmark registry.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = all_benchmarks()
+        .iter()
+        .map(|b| {
+            let info = b.info();
+            vec![
+                info.name.to_string(),
+                info.technique.code().to_string(),
+                format!("{:.3}", info.degrees[0]),
+                format!("{:.3}", info.degrees[1]),
+                format!("{:.3}", info.degrees[2]),
+                info.degree_parameter.to_string(),
+                info.metric.label().to_string(),
+            ]
+        })
+        .collect();
+    generic_table(
+        &[
+            "Benchmark",
+            "Approx/Drop",
+            "Mild",
+            "Medium",
+            "Aggressive",
+            "Degree parameter",
+            "Quality",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_six_benchmarks() {
+        let table = render();
+        for name in ["Sobel", "DCT", "MC", "Kmeans", "Jacobi", "Fluidanimate"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn table_contains_degree_values_from_the_paper() {
+        let table = render();
+        // Sobel mild = 0.8, Jacobi aggressive tolerance = 0.01.
+        assert!(table.contains("0.800"));
+        assert!(table.contains("0.010"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Discrete Cosine Transform (8×8 block DCT, the JPEG building block).
+//!
+//! The image is split into 8×8 blocks. The 64 coefficients of a block are
+//! grouped into 15 diagonal *frequency layers* (`u + v = 0 .. 14`); a task
+//! computes one frequency layer for all blocks of one stripe of block rows.
+//! "We assign higher significance to tasks that compute lower frequency
+//! coefficients" (Section 4.1), because the human eye is more sensitive to
+//! low spatial frequencies. Non-accurate tasks are **dropped** (no
+//! `approxfun`), zeroing their coefficients — exactly what JPEG quantisation
+//! does to high frequencies.
+//!
+//! Degrees (Table 1): ratio 80% / 40% / 10%; quality metric PSNR of the
+//! reconstructed (inverse-transformed) image.
+
+use std::f64::consts::PI;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sig_core::{Policy, Runtime, SharedGrid};
+use sig_perforation::{kept_indices, PerforationRate};
+use sig_quality::{GrayImage, QualityMetric};
+
+use crate::common::{
+    Approach, ApproxTechnique, Benchmark, BenchmarkInfo, Degree, ExecutionConfig, RunOutput,
+};
+
+/// Block edge length (8, as in JPEG).
+const BLOCK: usize = 8;
+/// Number of diagonal frequency layers in an 8×8 block (`u + v` in `0..=14`).
+const LAYERS: usize = 2 * BLOCK - 1;
+
+/// DCT benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct Dct {
+    /// Image width (multiple of 8).
+    pub width: usize,
+    /// Image height (multiple of 8).
+    pub height: usize,
+}
+
+impl Default for Dct {
+    fn default() -> Self {
+        Dct {
+            width: 256,
+            height: 256,
+        }
+    }
+}
+
+/// Number of `(u, v)` coefficient positions on diagonal layer `k`.
+fn layer_size(k: usize) -> usize {
+    assert!(k < LAYERS);
+    if k < BLOCK {
+        k + 1
+    } else {
+        2 * BLOCK - 1 - k
+    }
+}
+
+/// The `(u, v)` coefficient positions on layer `k`, in ascending `u`.
+fn layer_positions(k: usize) -> Vec<(usize, usize)> {
+    (0..BLOCK)
+        .filter_map(|u| {
+            let v = k.checked_sub(u)?;
+            (v < BLOCK).then_some((u, v))
+        })
+        .collect()
+}
+
+/// DCT-II basis scale factor.
+fn alpha(u: usize) -> f64 {
+    if u == 0 {
+        (1.0 / BLOCK as f64).sqrt()
+    } else {
+        (2.0 / BLOCK as f64).sqrt()
+    }
+}
+
+/// Compute one coefficient `(u, v)` of the 8×8 block whose top-left pixel is
+/// `(bx * 8, by * 8)`.
+fn block_coefficient(pixels: &[u8], width: usize, bx: usize, by: usize, u: usize, v: usize) -> f64 {
+    let mut sum = 0.0;
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let p = pixels[(by * BLOCK + y) * width + bx * BLOCK + x] as f64 - 128.0;
+            sum += p
+                * ((2.0 * x as f64 + 1.0) * u as f64 * PI / (2.0 * BLOCK as f64)).cos()
+                * ((2.0 * y as f64 + 1.0) * v as f64 * PI / (2.0 * BLOCK as f64)).cos();
+        }
+    }
+    alpha(u) * alpha(v) * sum
+}
+
+/// Inverse-transform one block from a dense 64-coefficient array.
+fn inverse_block(coeffs: &[f64; BLOCK * BLOCK], out: &mut [f64; BLOCK * BLOCK]) {
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut sum = 0.0;
+            for u in 0..BLOCK {
+                for v in 0..BLOCK {
+                    sum += alpha(u)
+                        * alpha(v)
+                        * coeffs[v * BLOCK + u]
+                        * ((2.0 * x as f64 + 1.0) * u as f64 * PI / (2.0 * BLOCK as f64)).cos()
+                        * ((2.0 * y as f64 + 1.0) * v as f64 * PI / (2.0 * BLOCK as f64)).cos();
+                }
+            }
+            out[y * BLOCK + x] = (sum + 128.0).clamp(0.0, 255.0);
+        }
+    }
+}
+
+/// Layout of the layer-major coefficient buffer: coefficients are stored
+/// first by layer, then by stripe (block row), then by block within the
+/// stripe, then by position within the layer. This keeps each
+/// (stripe, layer) task's output contiguous so tasks can hold disjoint
+/// region writers.
+#[derive(Debug, Clone)]
+struct CoeffLayout {
+    blocks_x: usize,
+    blocks_y: usize,
+    /// Starting offset of each layer's segment.
+    layer_offsets: Vec<usize>,
+    total: usize,
+}
+
+impl CoeffLayout {
+    fn new(width: usize, height: usize) -> Self {
+        let blocks_x = width / BLOCK;
+        let blocks_y = height / BLOCK;
+        let mut layer_offsets = Vec::with_capacity(LAYERS);
+        let mut offset = 0;
+        for k in 0..LAYERS {
+            layer_offsets.push(offset);
+            offset += layer_size(k) * blocks_x * blocks_y;
+        }
+        CoeffLayout {
+            blocks_x,
+            blocks_y,
+            layer_offsets,
+            total: offset,
+        }
+    }
+
+    /// Region (half-open range) written by the task for (stripe `by`,
+    /// layer `k`).
+    fn stripe_layer_range(&self, by: usize, k: usize) -> (usize, usize) {
+        let per_block = layer_size(k);
+        let start = self.layer_offsets[k] + by * self.blocks_x * per_block;
+        (start, start + self.blocks_x * per_block)
+    }
+
+    /// Offset of coefficient position `pos_idx` (index into
+    /// `layer_positions(k)`) of block `(bx, by)` on layer `k`.
+    fn coeff_offset(&self, bx: usize, by: usize, k: usize, pos_idx: usize) -> usize {
+        let per_block = layer_size(k);
+        self.layer_offsets[k] + (by * self.blocks_x + bx) * per_block + pos_idx
+    }
+}
+
+impl Dct {
+    /// The accurate-task ratio for an approximation degree (Table 1).
+    pub fn ratio_for(degree: Degree) -> f64 {
+        match degree {
+            Degree::Mild => 0.80,
+            Degree::Medium => 0.40,
+            Degree::Aggressive => 0.10,
+        }
+    }
+
+    /// Significance of the task computing frequency layer `k`: lower
+    /// frequencies (small `k`) are more significant. Kept inside `(0, 1)` so
+    /// the special values 0.0/1.0 are reserved for unconditional decisions,
+    /// as the paper's Sobel example recommends.
+    pub fn significance_for_layer(k: usize) -> f64 {
+        0.9 - 0.8 * k as f64 / (LAYERS - 1) as f64
+    }
+
+    /// The deterministic synthetic input image.
+    pub fn input(&self) -> GrayImage {
+        GrayImage::synthetic(self.width, self.height)
+    }
+
+    fn layout(&self) -> CoeffLayout {
+        CoeffLayout::new(self.width, self.height)
+    }
+
+    /// Compute the coefficients of one (stripe, layer) chunk into `out`,
+    /// which must be the region returned by `stripe_layer_range`.
+    fn compute_stripe_layer(
+        pixels: &[u8],
+        width: usize,
+        layout: &CoeffLayout,
+        by: usize,
+        k: usize,
+        out: &mut [f64],
+    ) {
+        let positions = layer_positions(k);
+        let per_block = positions.len();
+        for bx in 0..layout.blocks_x {
+            for (pos_idx, &(u, v)) in positions.iter().enumerate() {
+                out[bx * per_block + pos_idx] = block_coefficient(pixels, width, bx, by, u, v);
+            }
+        }
+    }
+
+    /// Reconstruct the image from a (possibly partial) layer-major
+    /// coefficient buffer; missing coefficients are zero, exactly like
+    /// aggressively quantised JPEG.
+    fn reconstruct(&self, layout: &CoeffLayout, coeffs: &[f64]) -> Vec<f64> {
+        let mut image = vec![0.0f64; self.width * self.height];
+        let mut block_coeffs = [0.0f64; BLOCK * BLOCK];
+        let mut block_pixels = [0.0f64; BLOCK * BLOCK];
+        for by in 0..layout.blocks_y {
+            for bx in 0..layout.blocks_x {
+                block_coeffs.fill(0.0);
+                for k in 0..LAYERS {
+                    for (pos_idx, &(u, v)) in layer_positions(k).iter().enumerate() {
+                        block_coeffs[v * BLOCK + u] =
+                            coeffs[layout.coeff_offset(bx, by, k, pos_idx)];
+                    }
+                }
+                inverse_block(&block_coeffs, &mut block_pixels);
+                for y in 0..BLOCK {
+                    for x in 0..BLOCK {
+                        image[(by * BLOCK + y) * self.width + bx * BLOCK + x] =
+                            block_pixels[y * BLOCK + x];
+                    }
+                }
+            }
+        }
+        image
+    }
+
+    /// Serial fully accurate execution (all layers computed).
+    pub fn run_accurate_serial(&self) -> Vec<f64> {
+        let layout = self.layout();
+        let img = self.input();
+        let pixels = img.pixels();
+        let mut coeffs = vec![0.0f64; layout.total];
+        for by in 0..layout.blocks_y {
+            for k in 0..LAYERS {
+                let (start, end) = layout.stripe_layer_range(by, k);
+                Dct::compute_stripe_layer(pixels, self.width, &layout, by, k, &mut coeffs[start..end]);
+            }
+        }
+        self.reconstruct(&layout, &coeffs)
+    }
+
+    /// Significance-annotated task execution: one task per (stripe, layer).
+    pub fn run_tasks(&self, workers: usize, policy: Policy, ratio: f64) -> RunOutput {
+        let layout = Arc::new(self.layout());
+        let img = Arc::new(self.input().into_raw());
+        let width = self.width;
+        let coeffs = SharedGrid::new(1, layout.total, 0.0f64);
+        let start = Instant::now();
+        let rt = Runtime::builder().workers(workers).policy(policy).build();
+        let group = rt.create_group("dct", ratio);
+        for by in 0..layout.blocks_y {
+            for k in 0..LAYERS {
+                let (seg_start, seg_end) = layout.stripe_layer_range(by, k);
+                let mut region = coeffs.region_writer(seg_start, seg_end);
+                let img = img.clone();
+                let layout = layout.clone();
+                rt.task(move || {
+                    Dct::compute_stripe_layer(&img, width, &layout, by, k, region.as_mut_slice());
+                })
+                // No approxfun: tasks selected for approximation are dropped,
+                // zeroing their frequency layer.
+                .significance(Dct::significance_for_layer(k))
+                .group(&group)
+                .spawn();
+            }
+        }
+        rt.wait_group(&group);
+        let elapsed = start.elapsed();
+        let values = self.reconstruct(&layout, &coeffs.snapshot());
+        RunOutput::from_runtime(&rt, values, elapsed)
+    }
+
+    /// Blind loop perforation over the same (stripe, layer) iteration space:
+    /// the kept fraction equals the accurate-task ratio, but the selection is
+    /// significance-oblivious, so low-frequency layers get dropped too.
+    pub fn run_perforated(&self, ratio: f64) -> RunOutput {
+        let layout = self.layout();
+        let img = self.input();
+        let pixels = img.pixels();
+        let mut coeffs = vec![0.0f64; layout.total];
+        let start = Instant::now();
+        let total_chunks = layout.blocks_y * LAYERS;
+        let kept = kept_indices(total_chunks, PerforationRate::keep(ratio));
+        for &chunk in &kept {
+            let by = chunk / LAYERS;
+            let k = chunk % LAYERS;
+            let (seg_start, seg_end) = layout.stripe_layer_range(by, k);
+            Dct::compute_stripe_layer(pixels, self.width, &layout, by, k, &mut coeffs[seg_start..seg_end]);
+        }
+        let elapsed = start.elapsed();
+        RunOutput::serial(self.reconstruct(&layout, &coeffs), elapsed)
+    }
+}
+
+impl Benchmark for Dct {
+    fn info(&self) -> BenchmarkInfo {
+        BenchmarkInfo {
+            name: "DCT",
+            technique: ApproxTechnique::Drop,
+            degree_parameter: "accurate-task ratio",
+            degrees: [0.80, 0.40, 0.10],
+            metric: QualityMetric::PsnrInverse,
+            perforation_supported: true,
+        }
+    }
+
+    fn run(&self, config: &ExecutionConfig) -> RunOutput {
+        match config.approach {
+            Approach::Accurate => {
+                let start = Instant::now();
+                let out = self.run_accurate_serial();
+                RunOutput::serial(out, start.elapsed())
+            }
+            Approach::Significance { policy, degree } => {
+                self.run_tasks(config.workers, policy, Dct::ratio_for(degree))
+            }
+            Approach::Perforation { degree } => self.run_perforated(Dct::ratio_for(degree)),
+        }
+    }
+
+    fn run_full_accuracy(&self, workers: usize, policy: Policy) -> RunOutput {
+        self.run_tasks(workers, policy, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dct {
+        Dct {
+            width: 64,
+            height: 64,
+        }
+    }
+
+    #[test]
+    fn layer_sizes_sum_to_64() {
+        let total: usize = (0..LAYERS).map(layer_size).sum();
+        assert_eq!(total, BLOCK * BLOCK);
+        assert_eq!(layer_size(0), 1);
+        assert_eq!(layer_size(7), 8);
+        assert_eq!(layer_size(14), 1);
+    }
+
+    #[test]
+    fn layer_positions_are_on_the_diagonal() {
+        for k in 0..LAYERS {
+            let positions = layer_positions(k);
+            assert_eq!(positions.len(), layer_size(k));
+            assert!(positions.iter().all(|&(u, v)| u + v == k && u < BLOCK && v < BLOCK));
+        }
+    }
+
+    #[test]
+    fn significance_decreases_with_frequency() {
+        let low = Dct::significance_for_layer(0);
+        let high = Dct::significance_for_layer(LAYERS - 1);
+        assert!(low > high);
+        assert!(low < 1.0 && high > 0.0, "special values must not be used");
+    }
+
+    #[test]
+    fn ratios_match_table1() {
+        assert_eq!(Dct::ratio_for(Degree::Mild), 0.80);
+        assert_eq!(Dct::ratio_for(Degree::Medium), 0.40);
+        assert_eq!(Dct::ratio_for(Degree::Aggressive), 0.10);
+    }
+
+    #[test]
+    fn full_transform_roundtrips_the_image() {
+        let d = small();
+        let original: Vec<f64> = d.input().to_f64();
+        let reconstructed = d.run_accurate_serial();
+        // DCT followed by IDCT with all coefficients reproduces the image
+        // (up to clamping / floating point noise).
+        let max_err = original
+            .iter()
+            .zip(&reconstructed)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1.0, "roundtrip error {max_err} too large");
+    }
+
+    #[test]
+    fn task_version_with_full_ratio_matches_serial() {
+        let d = small();
+        let serial = d.run_accurate_serial();
+        let tasks = d.run_tasks(2, Policy::GtbMaxBuffer, 1.0);
+        let max_err = serial
+            .iter()
+            .zip(&tasks.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9);
+        let layout = d.layout();
+        assert_eq!(tasks.tasks.total, layout.blocks_y * LAYERS);
+    }
+
+    #[test]
+    fn dropping_high_frequencies_is_graceful() {
+        let d = small();
+        let reference = d.run(&ExecutionConfig::accurate(2));
+        let mild = d.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let aggr = d.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Aggressive,
+        ));
+        let q_mild = d.quality(&reference, &mild).value;
+        let q_aggr = d.quality(&reference, &aggr).value;
+        assert!(q_mild <= q_aggr);
+        // Even at 10% accurate tasks the image survives (PSNR > 10 dB) since
+        // the kept tasks are the perceptually important low frequencies.
+        assert!(q_aggr < 0.1, "aggressive PSNR^-1 {q_aggr}");
+        // Dropped tasks show up in the counters.
+        assert!(aggr.tasks.dropped > 0);
+        assert_eq!(aggr.tasks.approximate, 0);
+    }
+
+    #[test]
+    fn significance_beats_blind_perforation_at_equal_work() {
+        let d = small();
+        let reference = d.run(&ExecutionConfig::accurate(2));
+        let ours = d.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Medium,
+        ));
+        let perf = d.run(&ExecutionConfig::perforation(2, Degree::Medium));
+        let q_ours = d.quality(&reference, &ours).value;
+        let q_perf = d.quality(&reference, &perf).value;
+        assert!(
+            q_ours < q_perf,
+            "significance-driven drop ({q_ours}) should beat blind perforation ({q_perf})"
+        );
+    }
+
+    #[test]
+    fn coeff_layout_ranges_are_disjoint_and_cover_everything() {
+        let layout = CoeffLayout::new(64, 64);
+        let mut covered = vec![false; layout.total];
+        for by in 0..layout.blocks_y {
+            for k in 0..LAYERS {
+                let (s, e) = layout.stripe_layer_range(by, k);
+                for slot in &mut covered[s..e] {
+                    assert!(!*slot, "overlapping coefficient ranges");
+                    *slot = true;
+                }
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+}

@@ -1,0 +1,435 @@
+//! Fluidanimate: smoothed-particle-hydrodynamics (SPH) fluid simulation
+//! (modelled on the PARSEC workload the paper uses).
+//!
+//! The fluid is a set of particles in a unit box. Each time step either runs
+//! **fully accurately** (densities and forces are evaluated from the particle
+//! neighbourhood and integrated) or **fully approximately** ("the new
+//! position of each particle is estimated assuming it will move linearly, in
+//! the same direction and with the same velocity as it did in the previous
+//! time steps"). The choice is made per time step by setting the `ratio`
+//! clause of the step's `taskwait` to `1.0` or `0.0` — exactly the trick the
+//! paper highlights as trivially expressible in the programming model, and
+//! accurate and approximate steps must alternate to keep the physics stable.
+//!
+//! Degrees (Table 1): fraction of accurate time steps 50% / 25% / 12.5%;
+//! quality metric relative error of the final particle positions.
+//! Loop perforation is **not applicable**: dropping part of the particles in
+//! a step violates the physics (Section 4.2).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sig_core::{Policy, Runtime, SharedGrid};
+use sig_quality::QualityMetric;
+
+use crate::common::{
+    Approach, ApproxTechnique, Benchmark, BenchmarkInfo, Degree, ExecutionConfig, RunOutput,
+};
+
+/// Number of scalar values stored per particle: position (x, y), velocity
+/// (x, y).
+const STRIDE: usize = 4;
+
+/// Fluidanimate benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct Fluidanimate {
+    /// Number of particles.
+    pub particles: usize,
+    /// Number of simulated time steps.
+    pub steps: usize,
+    /// Number of task chunks per time step.
+    pub chunks: usize,
+    /// Integration time step.
+    pub dt: f64,
+    /// SPH interaction radius.
+    pub radius: f64,
+    /// RNG seed for the initial particle distribution.
+    pub seed: u64,
+}
+
+impl Default for Fluidanimate {
+    fn default() -> Self {
+        Fluidanimate {
+            particles: 1024,
+            steps: 24,
+            chunks: 16,
+            dt: 0.002,
+            radius: 0.06,
+            seed: 0x5eed_0004,
+        }
+    }
+}
+
+/// Accurate update of one chunk of particles: SPH-style density/pressure
+/// forces from all neighbours within the interaction radius, plus gravity and
+/// box collisions, then symplectic Euler integration.
+fn step_accurate(state: &[f64], range: std::ops::Range<usize>, dt: f64, radius: f64, out: &mut [f64]) {
+    let n = state.len() / STRIDE;
+    let r2 = radius * radius;
+    for (local, i) in range.enumerate() {
+        let xi = state[i * STRIDE];
+        let yi = state[i * STRIDE + 1];
+        let mut vx = state[i * STRIDE + 2];
+        let mut vy = state[i * STRIDE + 3];
+
+        // Pairwise repulsion within the smoothing radius (a simplified SPH
+        // pressure force) — this is the expensive O(n) part of the step.
+        let mut fx = 0.0;
+        let mut fy = 0.0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let dx = xi - state[j * STRIDE];
+            let dy = yi - state[j * STRIDE + 1];
+            let d2 = dx * dx + dy * dy;
+            if d2 < r2 && d2 > 1e-12 {
+                let d = d2.sqrt();
+                let overlap = (radius - d) / radius;
+                fx += overlap * overlap * dx / d * 40.0;
+                fy += overlap * overlap * dy / d * 40.0;
+            }
+        }
+        // Gravity.
+        fy -= 9.8;
+
+        vx += fx * dt;
+        vy += fy * dt;
+        let mut x = xi + vx * dt;
+        let mut y = yi + vy * dt;
+        // Box collisions with damping.
+        if x < 0.0 {
+            x = 0.0;
+            vx = -vx * 0.5;
+        }
+        if x > 1.0 {
+            x = 1.0;
+            vx = -vx * 0.5;
+        }
+        if y < 0.0 {
+            y = 0.0;
+            vy = -vy * 0.5;
+        }
+        if y > 1.0 {
+            y = 1.0;
+            vy = -vy * 0.5;
+        }
+        out[local * STRIDE] = x;
+        out[local * STRIDE + 1] = y;
+        out[local * STRIDE + 2] = vx;
+        out[local * STRIDE + 3] = vy;
+    }
+}
+
+/// Approximate update: pure linear extrapolation with the previous velocity
+/// (no force evaluation), with the same box clamping.
+fn step_approximate(state: &[f64], range: std::ops::Range<usize>, dt: f64, out: &mut [f64]) {
+    for (local, i) in range.enumerate() {
+        let mut vx = state[i * STRIDE + 2];
+        let mut vy = state[i * STRIDE + 3];
+        let mut x = state[i * STRIDE] + vx * dt;
+        let mut y = state[i * STRIDE + 1] + vy * dt;
+        if x < 0.0 {
+            x = 0.0;
+            vx = -vx * 0.5;
+        }
+        if x > 1.0 {
+            x = 1.0;
+            vx = -vx * 0.5;
+        }
+        if y < 0.0 {
+            y = 0.0;
+            vy = -vy * 0.5;
+        }
+        if y > 1.0 {
+            y = 1.0;
+            vy = -vy * 0.5;
+        }
+        out[local * STRIDE] = x;
+        out[local * STRIDE + 1] = y;
+        out[local * STRIDE + 2] = vx;
+        out[local * STRIDE + 3] = vy;
+    }
+}
+
+impl Fluidanimate {
+    /// Period of accurate time steps for an approximation degree: every 2nd,
+    /// 4th or 8th step is accurate (= 50% / 25% / 12.5% accurate steps,
+    /// Table 1).
+    pub fn accurate_period_for(degree: Degree) -> usize {
+        match degree {
+            Degree::Mild => 2,
+            Degree::Medium => 4,
+            Degree::Aggressive => 8,
+        }
+    }
+
+    /// Deterministic initial particle state: a block of fluid in the upper
+    /// half of the box with a small random jitter and zero velocity.
+    pub fn initial_state(&self) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state = Vec::with_capacity(self.particles * STRIDE);
+        let cols = (self.particles as f64).sqrt().ceil() as usize;
+        for p in 0..self.particles {
+            let gx = (p % cols) as f64 / cols as f64;
+            let gy = (p / cols) as f64 / cols as f64;
+            state.push(0.25 + 0.5 * gx + rng.gen_range(-0.005..0.005));
+            state.push(0.5 + 0.45 * gy + rng.gen_range(-0.005..0.005));
+            state.push(0.0);
+            state.push(0.0);
+        }
+        state
+    }
+
+    fn chunk_range(&self, chunk: usize) -> std::ops::Range<usize> {
+        let per_chunk = self.particles.div_ceil(self.chunks);
+        let start = chunk * per_chunk;
+        let end = ((chunk + 1) * per_chunk).min(self.particles);
+        start..end
+    }
+
+    /// Serial fully accurate simulation; returns the final particle
+    /// positions (x, y interleaved).
+    pub fn run_accurate_serial(&self) -> Vec<f64> {
+        let mut state = self.initial_state();
+        for _ in 0..self.steps {
+            let mut next = vec![0.0f64; state.len()];
+            for chunk in 0..self.chunks {
+                let range = self.chunk_range(chunk);
+                let out_range = range.start * STRIDE..range.end * STRIDE;
+                step_accurate(&state, range, self.dt, self.radius, &mut next[out_range]);
+            }
+            state = next;
+        }
+        positions_of(&state)
+    }
+
+    /// Significance-annotated task execution: each time step's barrier
+    /// carries `ratio(1.0)` or `ratio(0.0)` depending on whether the step is
+    /// an accurate or an extrapolation step.
+    pub fn run_tasks(&self, workers: usize, policy: Policy, accurate_period: usize) -> RunOutput {
+        let dt = self.dt;
+        let radius = self.radius;
+        let per_chunk = self.particles.div_ceil(self.chunks);
+        let mut state = Arc::new(self.initial_state());
+
+        let start = Instant::now();
+        let rt = Runtime::builder().workers(workers).policy(policy).build();
+        let group = rt.create_group("fluidanimate", 1.0);
+        for step in 0..self.steps {
+            // Accurate steps occur once every `accurate_period` steps; the
+            // remaining steps are linear extrapolation.
+            let accurate_step = step % accurate_period == 0;
+            let next = SharedGrid::new(self.chunks, per_chunk * STRIDE, 0.0f64);
+            for chunk in 0..self.chunks {
+                let range = self.chunk_range(chunk);
+                let writer = Arc::new(std::sync::Mutex::new(next.row_writer(chunk)));
+                let writer_apx = writer.clone();
+                let state_acc = state.clone();
+                let state_apx = state.clone();
+                let range_apx = range.clone();
+                let len = range.len();
+                rt.task(move || {
+                    let mut out = writer.lock().expect("chunk writer");
+                    step_accurate(
+                        &state_acc,
+                        range.clone(),
+                        dt,
+                        radius,
+                        &mut out.as_mut_slice()[..len * STRIDE],
+                    );
+                })
+                .approx(move || {
+                    let mut out = writer_apx.lock().expect("chunk writer");
+                    step_approximate(
+                        &state_apx,
+                        range_apx.clone(),
+                        dt,
+                        &mut out.as_mut_slice()[..len * STRIDE],
+                    );
+                })
+                .significance(0.5)
+                .group(&group)
+                .spawn();
+            }
+            rt.wait_group_with_ratio(&group, if accurate_step { 1.0 } else { 0.0 });
+
+            let rows = next.snapshot();
+            let mut merged = vec![0.0f64; self.particles * STRIDE];
+            for chunk in 0..self.chunks {
+                let range = self.chunk_range(chunk);
+                let len = range.len();
+                merged[range.start * STRIDE..range.end * STRIDE]
+                    .copy_from_slice(&rows[chunk * per_chunk * STRIDE..chunk * per_chunk * STRIDE + len * STRIDE]);
+            }
+            state = Arc::new(merged);
+        }
+        let elapsed = start.elapsed();
+        RunOutput::from_runtime(&rt, positions_of(&state), elapsed)
+    }
+}
+
+/// Extract the interleaved (x, y) positions from the particle state.
+fn positions_of(state: &[f64]) -> Vec<f64> {
+    state
+        .chunks_exact(STRIDE)
+        .flat_map(|p| [p[0], p[1]])
+        .collect()
+}
+
+impl Benchmark for Fluidanimate {
+    fn info(&self) -> BenchmarkInfo {
+        BenchmarkInfo {
+            name: "Fluidanimate",
+            technique: ApproxTechnique::Approximate,
+            degree_parameter: "fraction of accurate time steps",
+            degrees: [0.50, 0.25, 0.125],
+            metric: QualityMetric::RelativeError,
+            perforation_supported: false,
+        }
+    }
+
+    fn run(&self, config: &ExecutionConfig) -> RunOutput {
+        match config.approach {
+            Approach::Accurate => {
+                let start = Instant::now();
+                let out = self.run_accurate_serial();
+                RunOutput::serial(out, start.elapsed())
+            }
+            Approach::Significance { policy, degree } => self.run_tasks(
+                config.workers,
+                policy,
+                Fluidanimate::accurate_period_for(degree),
+            ),
+            Approach::Perforation { .. } => {
+                panic!("loop perforation is not applicable to Fluidanimate (paper, Section 4.2)")
+            }
+        }
+    }
+
+    fn run_full_accuracy(&self, workers: usize, policy: Policy) -> RunOutput {
+        // Accurate period 1: every time step runs its accurate body.
+        self.run_tasks(workers, policy, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fluidanimate {
+        Fluidanimate {
+            particles: 256,
+            steps: 12,
+            chunks: 8,
+            dt: 0.002,
+            radius: 0.08,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn periods_match_table1() {
+        assert_eq!(Fluidanimate::accurate_period_for(Degree::Mild), 2);
+        assert_eq!(Fluidanimate::accurate_period_for(Degree::Medium), 4);
+        assert_eq!(Fluidanimate::accurate_period_for(Degree::Aggressive), 8);
+    }
+
+    #[test]
+    fn initial_state_is_deterministic_and_inside_the_box() {
+        let f = small();
+        let a = f.initial_state();
+        assert_eq!(a, f.initial_state());
+        assert_eq!(a.len(), f.particles * STRIDE);
+        for p in a.chunks_exact(STRIDE) {
+            assert!((0.0..=1.0).contains(&p[0]));
+            assert!((0.0..=1.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn particles_stay_inside_the_box() {
+        let f = small();
+        let positions = f.run_accurate_serial();
+        for xy in positions.chunks_exact(2) {
+            assert!((0.0..=1.0).contains(&xy[0]), "x = {}", xy[0]);
+            assert!((0.0..=1.0).contains(&xy[1]), "y = {}", xy[1]);
+        }
+    }
+
+    #[test]
+    fn gravity_pulls_the_fluid_down() {
+        let f = small();
+        let initial = positions_of(&f.initial_state());
+        let after = f.run_accurate_serial();
+        let mean_y_initial: f64 =
+            initial.chunks_exact(2).map(|p| p[1]).sum::<f64>() / f.particles as f64;
+        let mean_y_after: f64 = after.chunks_exact(2).map(|p| p[1]).sum::<f64>() / f.particles as f64;
+        assert!(
+            mean_y_after < mean_y_initial,
+            "fluid should fall: {mean_y_initial} -> {mean_y_after}"
+        );
+    }
+
+    #[test]
+    fn task_version_with_every_step_accurate_matches_serial() {
+        let f = small();
+        let serial = f.run_accurate_serial();
+        let tasks = f.run_tasks(2, Policy::GtbMaxBuffer, 1);
+        let max_err = serial
+            .iter()
+            .zip(&tasks.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-12, "max error {max_err}");
+        assert_eq!(tasks.tasks.approximate, 0);
+    }
+
+    #[test]
+    fn mild_approximation_is_stable_and_close() {
+        let f = small();
+        let reference = f.run(&ExecutionConfig::accurate(2));
+        let mild = f.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let q = f.quality(&reference, &mild).value;
+        // Paper: only the mild degree gives acceptable results; it should be
+        // within a few percent relative error here.
+        assert!(q < 20.0, "mild relative error {q}% too large");
+        // Both accurate and extrapolation steps must have run.
+        assert!(mild.tasks.accurate > 0);
+        assert!(mild.tasks.approximate > 0);
+    }
+
+    #[test]
+    fn aggressive_approximation_degrades_more_than_mild() {
+        let f = small();
+        let reference = f.run(&ExecutionConfig::accurate(2));
+        let mild = f.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let aggr = f.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Aggressive,
+        ));
+        let q_mild = f.quality(&reference, &mild).value;
+        let q_aggr = f.quality(&reference, &aggr).value;
+        assert!(q_mild <= q_aggr + 1e-9, "mild {q_mild} vs aggressive {q_aggr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not applicable")]
+    fn perforation_is_rejected() {
+        let f = small();
+        f.run(&ExecutionConfig::perforation(2, Degree::Mild));
+    }
+
+    #[test]
+    fn accurate_step_fraction_matches_degree() {
+        let f = small();
+        let out = f.run_tasks(2, Policy::GtbMaxBuffer, 4);
+        // steps = 12, period 4 => 3 accurate steps of 8 chunks each.
+        assert_eq!(out.tasks.accurate, 3 * f.chunks);
+        assert_eq!(out.tasks.approximate, 9 * f.chunks);
+    }
+}

@@ -1,0 +1,421 @@
+//! Jacobi iterative solver for diagonally dominant linear systems.
+//!
+//! One task updates one block of unknowns per sweep. The paper executes "the
+//! first 5 iterations approximately, by dropping the tasks (and computations)
+//! corresponding to the upper right and lower left areas of the matrix" —
+//! legitimate because a diagonally dominant matrix concentrates its
+//! information in a band around the diagonal — and then iterates accurately
+//! to a *relaxed* convergence tolerance (the degree knob): `10⁻⁴ / 10⁻³ /
+//! 10⁻²` against the native `10⁻⁵`.
+//!
+//! Here the "drop the off-band areas" effect is expressed exactly as the
+//! paper advertises: the approximate task body sums only the in-band columns,
+//! and the first five sweeps run with `ratio = 0`, so every task takes the
+//! approximate (band-only) path. Later sweeps run with `ratio = 1`.
+//!
+//! Quality metric: relative error of the solution vector against the fully
+//! accurate solve.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sig_core::{Policy, Runtime, SharedGrid};
+use sig_perforation::{kept_indices, PerforationRate};
+use sig_quality::QualityMetric;
+
+use crate::common::{
+    Approach, ApproxTechnique, Benchmark, BenchmarkInfo, Degree, ExecutionConfig, RunOutput,
+};
+
+/// Jacobi benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct Jacobi {
+    /// Number of unknowns (matrix is `n × n`).
+    pub n: usize,
+    /// Number of row blocks (= tasks per sweep).
+    pub blocks: usize,
+    /// Half-width of the diagonal band used by the approximate task body.
+    pub band: usize,
+    /// Number of initial approximate sweeps.
+    pub approx_sweeps: usize,
+    /// Maximum number of sweeps.
+    pub max_sweeps: usize,
+    /// Convergence tolerance of the fully accurate reference execution.
+    pub native_tolerance: f64,
+    /// RNG seed for the right-hand side.
+    pub seed: u64,
+}
+
+impl Default for Jacobi {
+    fn default() -> Self {
+        Jacobi {
+            n: 512,
+            blocks: 32,
+            band: 32,
+            approx_sweeps: 5,
+            max_sweeps: 200,
+            native_tolerance: 1e-5,
+            seed: 0x5eed_0003,
+        }
+    }
+}
+
+/// Matrix entry `A[i][j]` of the synthetic diagonally dominant system:
+/// a strong diagonal with slowly decaying off-diagonal coupling.
+fn matrix_entry(n: usize, i: usize, j: usize) -> f64 {
+    if i == j {
+        n as f64
+    } else {
+        1.0 / (1.0 + i.abs_diff(j) as f64)
+    }
+}
+
+/// Update one block of unknowns: `x_new[i] = (b[i] − Σ_{j≠i} A[i][j]·x[j]) / A[i][i]`.
+///
+/// `band` limits the columns visited: `None` sums every column (accurate),
+/// `Some(w)` sums only `|i − j| ≤ w` (the approximate, band-only body).
+fn update_block(
+    n: usize,
+    b: &[f64],
+    x: &[f64],
+    rows: std::ops::Range<usize>,
+    band: Option<usize>,
+    out: &mut [f64],
+) {
+    for (local, i) in rows.enumerate() {
+        let (lo, hi) = match band {
+            Some(w) => (i.saturating_sub(w), (i + w + 1).min(n)),
+            None => (0, n),
+        };
+        let mut sum = 0.0;
+        for j in lo..hi {
+            if j != i {
+                sum += matrix_entry(n, i, j) * x[j];
+            }
+        }
+        out[local] = (b[i] - sum) / matrix_entry(n, i, i);
+    }
+}
+
+impl Jacobi {
+    /// The convergence tolerance for an approximation degree (Table 1).
+    pub fn tolerance_for(degree: Degree) -> f64 {
+        match degree {
+            Degree::Mild => 1e-4,
+            Degree::Medium => 1e-3,
+            Degree::Aggressive => 1e-2,
+        }
+    }
+
+    /// Deterministic right-hand side.
+    pub fn rhs(&self) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.n).map(|_| rng.gen_range(-100.0..100.0)).collect()
+    }
+
+    fn block_range(&self, block: usize) -> std::ops::Range<usize> {
+        let per_block = self.n.div_ceil(self.blocks);
+        let start = block * per_block;
+        let end = ((block + 1) * per_block).min(self.n);
+        start..end
+    }
+
+    fn max_delta(old: &[f64], new: &[f64]) -> f64 {
+        old.iter()
+            .zip(new)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Serial solve with every sweep accurate, iterating to `tolerance`.
+    pub fn solve_accurate_serial(&self, tolerance: f64) -> Vec<f64> {
+        let b = self.rhs();
+        let mut x = vec![0.0f64; self.n];
+        for _ in 0..self.max_sweeps {
+            let mut x_new = vec![0.0f64; self.n];
+            for block in 0..self.blocks {
+                let range = self.block_range(block);
+                let local = range.clone();
+                update_block(self.n, &b, &x, range, None, &mut x_new[local.start..local.end]);
+            }
+            let delta = Jacobi::max_delta(&x, &x_new);
+            x = x_new;
+            if delta < tolerance {
+                break;
+            }
+        }
+        x
+    }
+
+    /// Significance-annotated task execution: `approx_sweeps` band-only
+    /// sweeps (ratio 0), then accurate sweeps (ratio 1) until the relaxed
+    /// tolerance is reached.
+    pub fn run_tasks(&self, workers: usize, policy: Policy, tolerance: f64) -> RunOutput {
+        let b = Arc::new(self.rhs());
+        let n = self.n;
+        let band = self.band;
+        let mut x = Arc::new(vec![0.0f64; self.n]);
+        let per_block = self.n.div_ceil(self.blocks);
+
+        let start = Instant::now();
+        let rt = Runtime::builder().workers(workers).policy(policy).build();
+        let group = rt.create_group("jacobi", 0.0);
+        let mut sweeps = 0usize;
+        for sweep in 0..self.max_sweeps {
+            sweeps += 1;
+            let accurate_sweep = sweep >= self.approx_sweeps;
+            let x_new = SharedGrid::new(self.blocks, per_block, 0.0f64);
+            for block in 0..self.blocks {
+                let range = self.block_range(block);
+                let writer = Arc::new(std::sync::Mutex::new(x_new.row_writer(block)));
+                let writer_apx = writer.clone();
+                let b_acc = b.clone();
+                let b_apx = b.clone();
+                let x_acc = x.clone();
+                let x_apx = x.clone();
+                let range_apx = range.clone();
+                let len = range.len();
+                rt.task(move || {
+                    let mut out = writer.lock().expect("block writer");
+                    update_block(n, &b_acc, &x_acc, range.clone(), None, &mut out.as_mut_slice()[..len]);
+                })
+                .approx(move || {
+                    let mut out = writer_apx.lock().expect("block writer");
+                    update_block(
+                        n,
+                        &b_apx,
+                        &x_apx,
+                        range_apx.clone(),
+                        Some(band),
+                        &mut out.as_mut_slice()[..len],
+                    );
+                })
+                .significance(0.5)
+                .group(&group)
+                .spawn();
+            }
+            // The ratio clause at the barrier selects the sweep mode:
+            // 0.0 during the initial approximate phase, 1.0 afterwards.
+            rt.wait_group_with_ratio(&group, if accurate_sweep { 1.0 } else { 0.0 });
+
+            let rows = x_new.snapshot();
+            let mut merged = vec![0.0f64; self.n];
+            for block in 0..self.blocks {
+                let range = self.block_range(block);
+                let len = range.len();
+                merged[range].copy_from_slice(&rows[block * per_block..block * per_block + len]);
+            }
+            let delta = Jacobi::max_delta(&x, &merged);
+            x = Arc::new(merged);
+            // Only accurate sweeps can declare convergence.
+            if accurate_sweep && delta < tolerance {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        let mut output = RunOutput::from_runtime(&rt, (*x).clone(), elapsed);
+        // Record the sweep count in the task totals for analysis.
+        output.tasks.total = output.tasks.total.max(sweeps * self.blocks);
+        output
+    }
+
+    /// Loop perforation: every sweep updates only a kept subset of the row
+    /// blocks (accurately); the remaining unknowns keep their previous value.
+    /// Iterates to the same relaxed tolerance.
+    pub fn run_perforated(&self, tolerance: f64, keep: f64) -> RunOutput {
+        let b = self.rhs();
+        let mut x = vec![0.0f64; self.n];
+        let start = Instant::now();
+        let kept = kept_indices(self.blocks, PerforationRate::keep(keep));
+        for _ in 0..self.max_sweeps {
+            let mut x_new = x.clone();
+            for &block in &kept {
+                let range = self.block_range(block);
+                let local = range.clone();
+                update_block(self.n, &b, &x, range, None, &mut x_new[local.start..local.end]);
+            }
+            let delta = Jacobi::max_delta(&x, &x_new);
+            x = x_new;
+            if delta < tolerance {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        RunOutput::serial(x, elapsed)
+    }
+}
+
+impl Benchmark for Jacobi {
+    fn info(&self) -> BenchmarkInfo {
+        BenchmarkInfo {
+            name: "Jacobi",
+            technique: ApproxTechnique::Both,
+            degree_parameter: "convergence tolerance",
+            degrees: [1e-4, 1e-3, 1e-2],
+            metric: QualityMetric::RelativeError,
+            perforation_supported: true,
+        }
+    }
+
+    fn run(&self, config: &ExecutionConfig) -> RunOutput {
+        match config.approach {
+            Approach::Accurate => {
+                let start = Instant::now();
+                let out = self.solve_accurate_serial(self.native_tolerance);
+                RunOutput::serial(out, start.elapsed())
+            }
+            Approach::Significance { policy, degree } => {
+                self.run_tasks(config.workers, policy, Jacobi::tolerance_for(degree))
+            }
+            Approach::Perforation { degree } => {
+                // Match the paper: perforation keeps 80% of the row blocks
+                // and converges to the same relaxed tolerance.
+                self.run_perforated(Jacobi::tolerance_for(degree), 0.8)
+            }
+        }
+    }
+
+    fn run_full_accuracy(&self, workers: usize, policy: Policy) -> RunOutput {
+        // Disable the initial approximate sweeps so every task runs its
+        // accurate body; iterate to the native tolerance.
+        let fully_accurate = Jacobi {
+            approx_sweeps: 0,
+            ..self.clone()
+        };
+        fully_accurate.run_tasks(workers, policy, self.native_tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sig_quality::relative_error;
+
+    fn small() -> Jacobi {
+        Jacobi {
+            n: 128,
+            blocks: 8,
+            band: 16,
+            approx_sweeps: 5,
+            max_sweeps: 100,
+            native_tolerance: 1e-5,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn tolerances_match_table1() {
+        assert_eq!(Jacobi::tolerance_for(Degree::Mild), 1e-4);
+        assert_eq!(Jacobi::tolerance_for(Degree::Medium), 1e-3);
+        assert_eq!(Jacobi::tolerance_for(Degree::Aggressive), 1e-2);
+    }
+
+    #[test]
+    fn matrix_is_diagonally_dominant() {
+        let n = 64;
+        for i in 0..n {
+            let off_diag: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| matrix_entry(n, i, j).abs())
+                .sum();
+            assert!(matrix_entry(n, i, i) > off_diag, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn accurate_solve_satisfies_the_system() {
+        let j = small();
+        let x = j.solve_accurate_serial(1e-8);
+        let b = j.rhs();
+        // Residual check: ||Ax − b||_∞ must be tiny.
+        let mut max_residual = 0.0f64;
+        for i in 0..j.n {
+            let mut row = 0.0;
+            for (jj, xv) in x.iter().enumerate() {
+                row += matrix_entry(j.n, i, jj) * xv;
+            }
+            max_residual = max_residual.max((row - b[i]).abs());
+        }
+        assert!(max_residual < 1e-3, "residual {max_residual}");
+    }
+
+    #[test]
+    fn block_ranges_partition_unknowns() {
+        let j = Jacobi { n: 100, blocks: 7, ..small() };
+        let mut covered = vec![false; j.n];
+        for block in 0..j.blocks {
+            for i in j.block_range(block) {
+                assert!(!covered[i]);
+                covered[i] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn band_only_update_is_an_approximation() {
+        let j = small();
+        let b = j.rhs();
+        let x = vec![1.0f64; j.n];
+        let mut full = vec![0.0f64; 16];
+        let mut banded = vec![0.0f64; 16];
+        update_block(j.n, &b, &x, 0..16, None, &mut full);
+        update_block(j.n, &b, &x, 0..16, Some(j.band), &mut banded);
+        assert_ne!(full, banded);
+        let err = relative_error(&full, &banded);
+        assert!(err < 0.2, "band approximation error {err} too large");
+    }
+
+    #[test]
+    fn task_solver_converges_close_to_reference() {
+        let j = small();
+        let reference = j.run(&ExecutionConfig::accurate(2));
+        for degree in [Degree::Mild, Degree::Medium, Degree::Aggressive] {
+            let approx = j.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, degree));
+            let q = j.quality(&reference, &approx).value;
+            assert!(
+                q < 5.0,
+                "{:?}: relative error {q}% too large",
+                degree
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_tolerance_degrades_monotonically() {
+        let j = small();
+        let reference = j.run(&ExecutionConfig::accurate(2));
+        let mild = j.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let aggr = j.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Aggressive,
+        ));
+        let q_mild = j.quality(&reference, &mild).value;
+        let q_aggr = j.quality(&reference, &aggr).value;
+        assert!(q_mild <= q_aggr + 1e-9, "mild {q_mild} vs aggressive {q_aggr}");
+    }
+
+    #[test]
+    fn perforated_solver_still_converges() {
+        let j = small();
+        let reference = j.run(&ExecutionConfig::accurate(2));
+        let perf = j.run(&ExecutionConfig::perforation(2, Degree::Medium));
+        let q = j.quality(&reference, &perf).value;
+        assert!(q.is_finite());
+        assert_eq!(perf.values.len(), j.n);
+    }
+
+    #[test]
+    fn early_sweeps_run_approximately_later_ones_accurately() {
+        let j = small();
+        let out = j.run_tasks(2, Policy::GtbMaxBuffer, 1e-3);
+        // The first 5 sweeps (8 blocks each) are approximate; the rest are
+        // accurate.
+        assert_eq!(out.tasks.approximate, j.approx_sweeps * j.blocks);
+        assert!(out.tasks.accurate >= j.blocks);
+    }
+}

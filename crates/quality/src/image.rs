@@ -1,0 +1,264 @@
+//! Minimal grayscale image container with deterministic synthetic inputs and
+//! a PGM writer.
+//!
+//! The paper uses real images for Sobel/DCT and shows visual quadrant
+//! comparisons (Figures 1 and 3). Real inputs are not required to reproduce
+//! the *behaviour* being evaluated (task counts, per-task cost, quality
+//! trends), so this module generates a deterministic procedural image with
+//! edges, gradients and texture — features that exercise the Sobel and DCT
+//! kernels the same way a photograph would.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An 8-bit grayscale image stored in row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Create a black image of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        GrayImage {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Wrap an existing pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            width * height,
+            "pixel buffer length must equal width * height"
+        );
+        GrayImage { width, height, data }
+    }
+
+    /// Deterministic synthetic test image combining smooth gradients, hard
+    /// edges (a grid of rectangles), and a high-frequency texture region.
+    ///
+    /// The same `(width, height)` always produces the same image, making
+    /// experiments repeatable without shipping binary assets.
+    pub fn synthetic(width: usize, height: usize) -> Self {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let fx = x as f64 / width as f64;
+                let fy = y as f64 / height as f64;
+                // Smooth diagonal gradient.
+                let mut v = 96.0 * (fx + fy) / 2.0;
+                // Rectangular grid: hard edges every 1/8 of the image.
+                if (x / (width / 8).max(1)) % 2 == (y / (height / 8).max(1)) % 2 {
+                    v += 64.0;
+                }
+                // Concentric rings for curved edges.
+                let cx = fx - 0.5;
+                let cy = fy - 0.5;
+                let r = (cx * cx + cy * cy).sqrt();
+                v += 48.0 * (r * 40.0).sin().abs();
+                // High-frequency texture in the lower-right quadrant.
+                if fx > 0.5 && fy > 0.5 {
+                    v += 24.0 * (((x * 7 + y * 13) % 17) as f64 / 17.0);
+                }
+                img.data[y * width + x] = v.clamp(0.0, 255.0) as u8;
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Borrow the raw row-major pixel buffer.
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major pixel buffer.
+    pub fn pixels_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consume the image and return its pixel buffer.
+    pub fn into_raw(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Read the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Write the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Pixel values as `f64` samples (for PSNR computation).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.data.iter().map(|&p| p as f64).collect()
+    }
+
+    /// Compose a "quadrant comparison" image in the style of the paper's
+    /// Figure 1 / Figure 3: upper-left from `a`, upper-right from `b`,
+    /// lower-left from `c`, lower-right from `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the four images do not share identical dimensions.
+    pub fn quadrants(a: &GrayImage, b: &GrayImage, c: &GrayImage, d: &GrayImage) -> GrayImage {
+        for img in [b, c, d] {
+            assert_eq!(
+                (a.width, a.height),
+                (img.width, img.height),
+                "quadrant images must share dimensions"
+            );
+        }
+        let mut out = GrayImage::new(a.width, a.height);
+        let half_w = a.width / 2;
+        let half_h = a.height / 2;
+        for y in 0..a.height {
+            for x in 0..a.width {
+                let src = match (x < half_w, y < half_h) {
+                    (true, true) => a,
+                    (false, true) => b,
+                    (true, false) => c,
+                    (false, false) => d,
+                };
+                out.data[y * a.width + x] = src.data[y * a.width + x];
+            }
+        }
+        out
+    }
+
+    /// Serialise as binary PGM (P5) into an arbitrary writer.
+    pub fn write_pgm<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writeln!(writer, "P5")?;
+        writeln!(writer, "{} {}", self.width, self.height)?;
+        writeln!(writer, "255")?;
+        writer.write_all(&self.data)
+    }
+
+    /// Write the image as a binary PGM file at `path`.
+    pub fn save_pgm<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_pgm(io::BufWriter::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_image_is_black() {
+        let img = GrayImage::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert!(img.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        GrayImage::new(0, 10);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let img = GrayImage::from_raw(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(img.get(0, 0), 1);
+        assert_eq!(img.get(1, 1), 4);
+        assert_eq!(img.into_raw(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width * height")]
+    fn from_raw_wrong_length_panics() {
+        GrayImage::from_raw(2, 2, vec![0; 3]);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = GrayImage::new(8, 8);
+        img.set(3, 5, 200);
+        assert_eq!(img.get(3, 5), 200);
+        assert_eq!(img.pixels()[5 * 8 + 3], 200);
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_nontrivial() {
+        let a = GrayImage::synthetic(64, 64);
+        let b = GrayImage::synthetic(64, 64);
+        assert_eq!(a, b);
+        // The image must contain actual structure (more than one value).
+        let min = *a.pixels().iter().min().unwrap();
+        let max = *a.pixels().iter().max().unwrap();
+        assert!(max > min + 50, "synthetic image should have contrast");
+    }
+
+    #[test]
+    fn quadrants_compose_correct_regions() {
+        let mk = |v: u8| GrayImage::from_raw(4, 4, vec![v; 16]);
+        let q = GrayImage::quadrants(&mk(10), &mk(20), &mk(30), &mk(40));
+        assert_eq!(q.get(0, 0), 10); // upper-left
+        assert_eq!(q.get(3, 0), 20); // upper-right
+        assert_eq!(q.get(0, 3), 30); // lower-left
+        assert_eq!(q.get(3, 3), 40); // lower-right
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn quadrants_dimension_mismatch_panics() {
+        let a = GrayImage::new(4, 4);
+        let b = GrayImage::new(8, 8);
+        GrayImage::quadrants(&a, &b, &a, &a);
+    }
+
+    #[test]
+    fn pgm_output_has_header_and_payload() {
+        let img = GrayImage::from_raw(2, 2, vec![9, 8, 7, 6]);
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..10]);
+        assert!(text.starts_with("P5\n2 2\n255"));
+        assert_eq!(&buf[buf.len() - 4..], &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn to_f64_matches_pixels() {
+        let img = GrayImage::from_raw(1, 3, vec![0, 100, 255]);
+        assert_eq!(img.to_f64(), vec![0.0, 100.0, 255.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sig-quality
+//!
+//! Output-quality metrics and small image utilities used throughout the
+//! reproduction of *"A Programming Model and Runtime System for
+//! Significance-Aware Energy-Efficient Computing"* (PPoPP 2015).
+//!
+//! The paper evaluates result quality with two families of metrics
+//! (Section 4.1):
+//!
+//! * **PSNR** (peak signal-to-noise ratio) for image-processing benchmarks
+//!   (Sobel, DCT). Figure 2 plots `PSNR⁻¹` so that "lower is better" holds
+//!   for every quality column; [`psnr_inverse`] mirrors that convention.
+//! * **Relative error** for the numeric benchmarks (MC, K-means, Jacobi,
+//!   Fluidanimate).
+//!
+//! The [`image`] module provides a minimal grayscale image container,
+//! deterministic synthetic test images, and a PGM writer — enough to
+//! regenerate Figure 1 / Figure 3 style visual comparisons without any
+//! external image dependency.
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod metrics;
+
+pub use image::GrayImage;
+pub use metrics::{
+    max_abs_error, mean_relative_error, mse, psnr, psnr_inverse, relative_error,
+    relative_error_l2, QualityMetric, QualityScore,
+};

@@ -1,0 +1,40 @@
+//! Fluid simulation (simplified SPH) alternating accurate and extrapolated
+//! time steps — the paper's Fluidanimate scenario, where the `ratio` clause
+//! of each step's barrier flips between 1.0 and 0.0.
+//!
+//! Run with `cargo run --release --example fluid_sim`.
+
+use significance_repro::kernels::fluidanimate::Fluidanimate;
+use significance_repro::kernels::{Benchmark, Degree, ExecutionConfig};
+use significance_repro::prelude::*;
+use significance_repro::quality::relative_error;
+
+fn main() {
+    let fluid = Fluidanimate::default();
+    let workers = ExecutionConfig::default_workers();
+
+    let reference = fluid.run(&ExecutionConfig::accurate(workers));
+    println!(
+        "fully accurate simulation: {:>8.2} ms, {} particles, {} steps",
+        reference.elapsed.as_secs_f64() * 1e3,
+        fluid.particles,
+        fluid.steps
+    );
+
+    for degree in [Degree::Mild, Degree::Medium, Degree::Aggressive] {
+        let run = fluid.run(&ExecutionConfig::significance(
+            workers,
+            Policy::GtbMaxBuffer,
+            degree,
+        ));
+        let error = relative_error(&reference.values, &run.values) * 100.0;
+        println!(
+            "{:<6} (1 accurate step in {}): {:>8.2} ms, position rel. error {:>7.3}%",
+            degree.name(),
+            Fluidanimate::accurate_period_for(degree),
+            run.elapsed.as_secs_f64() * 1e3,
+            error
+        );
+    }
+    println!("(as in the paper, only the Mild degree keeps the physics acceptable)");
+}

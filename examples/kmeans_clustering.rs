@@ -1,0 +1,41 @@
+//! K-means clustering with approximate distance computations: shows how the
+//! ratio knob trades clustering quality against time/energy without touching
+//! the algorithm.
+//!
+//! Run with `cargo run --release --example kmeans_clustering`.
+
+use significance_repro::energy::PowerModel;
+use significance_repro::kernels::kmeans::KMeans;
+use significance_repro::kernels::{Benchmark, Degree, ExecutionConfig};
+use significance_repro::prelude::*;
+use significance_repro::quality::relative_error;
+
+fn main() {
+    let kmeans = KMeans::default();
+    let workers = ExecutionConfig::default_workers();
+    let power = PowerModel::for_host();
+
+    let reference = kmeans.run(&ExecutionConfig::accurate(workers));
+    println!(
+        "accurate   : {:>8.2} ms (serial reference)",
+        reference.elapsed.as_secs_f64() * 1e3
+    );
+
+    for policy in [Policy::GtbMaxBuffer, Policy::Lqh] {
+        for degree in [Degree::Mild, Degree::Aggressive] {
+            let run = kmeans.run(&ExecutionConfig::significance(workers, policy, degree));
+            let energy = power.energy_joules(run.elapsed.as_secs_f64(), run.busy_core_seconds);
+            let error = relative_error(&reference.values, &run.values) * 100.0;
+            println!(
+                "{:<15} {:<6}: {:>8.2} ms  {:>8.2} J  centroid rel. error {:>6.3}%  ({} acc / {} approx)",
+                policy.name(),
+                degree.name(),
+                run.elapsed.as_secs_f64() * 1e3,
+                energy,
+                error,
+                run.tasks.accurate,
+                run.tasks.approximate,
+            );
+        }
+    }
+}

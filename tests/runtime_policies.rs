@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: runtime policies driving real kernels,
+//! with energy accounting and quality evaluation end to end.
+
+use significance_repro::energy::{EnergyMeter, PowerModel};
+use significance_repro::kernels::sobel::Sobel;
+use significance_repro::kernels::{all_benchmarks, Approach, Benchmark, Degree, ExecutionConfig};
+use significance_repro::prelude::*;
+
+fn workers() -> usize {
+    ExecutionConfig::default_workers().min(4)
+}
+
+#[test]
+fn every_benchmark_runs_under_every_policy() {
+    for benchmark in all_benchmarks() {
+        // Use the bench-scale inputs via default configs but only the
+        // Aggressive degree (cheapest) to keep the test fast.
+        for policy in [
+            Policy::Gtb { buffer_size: 16 },
+            Policy::GtbMaxBuffer,
+            Policy::Lqh,
+        ] {
+            let run = benchmark.run(&ExecutionConfig::significance(
+                workers(),
+                policy,
+                Degree::Aggressive,
+            ));
+            assert!(
+                !run.values.is_empty(),
+                "{} produced no output under {:?}",
+                benchmark.name(),
+                policy
+            );
+            assert!(
+                run.tasks.total > 0,
+                "{} executed no tasks under {:?}",
+                benchmark.name(),
+                policy
+            );
+        }
+    }
+}
+
+#[test]
+fn quality_degrades_monotonically_with_degree_for_sobel() {
+    let sobel = Sobel {
+        width: 128,
+        height: 128,
+    };
+    let reference = sobel.run(&ExecutionConfig::accurate(workers()));
+    let mut previous = 0.0;
+    for degree in [Degree::Mild, Degree::Medium, Degree::Aggressive] {
+        let run = sobel.run(&ExecutionConfig::significance(
+            workers(),
+            Policy::GtbMaxBuffer,
+            degree,
+        ));
+        let quality = sobel.quality(&reference, &run).value;
+        assert!(
+            quality + 1e-12 >= previous,
+            "quality should not improve as approximation grows: {quality} < {previous}"
+        );
+        previous = quality;
+    }
+}
+
+#[test]
+fn approximate_execution_reduces_modelled_energy() {
+    // Use the work-unit interpretation: fewer busy core-seconds at equal
+    // wall time means less energy under any affine power model.
+    let sobel = Sobel {
+        width: 256,
+        height: 256,
+    };
+    let accurate = sobel.run(&ExecutionConfig::significance(
+        workers(),
+        Policy::GtbMaxBuffer,
+        Degree::Mild,
+    ));
+    let aggressive = sobel.run(&ExecutionConfig::significance(
+        workers(),
+        Policy::GtbMaxBuffer,
+        Degree::Aggressive,
+    ));
+    assert!(
+        aggressive.busy_core_seconds < accurate.busy_core_seconds,
+        "aggressive approximation should do less work: {} vs {}",
+        aggressive.busy_core_seconds,
+        accurate.busy_core_seconds
+    );
+    let model = PowerModel::for_host();
+    let wall = accurate.elapsed.as_secs_f64().max(aggressive.elapsed.as_secs_f64());
+    let e_accurate = model.energy_joules(wall, accurate.busy_core_seconds);
+    let e_aggressive = model.energy_joules(wall, aggressive.busy_core_seconds);
+    assert!(e_aggressive < e_accurate);
+}
+
+#[test]
+fn energy_meter_integrates_runtime_busy_time() {
+    let meter = EnergyMeter::new(PowerModel::for_host());
+    let sobel = Sobel {
+        width: 128,
+        height: 128,
+    };
+    let run = sobel.run(&ExecutionConfig::significance(
+        workers(),
+        Policy::Lqh,
+        Degree::Medium,
+    ));
+    meter.record_busy_secs(run.busy_core_seconds);
+    let reading = meter.read_at(run.elapsed.as_secs_f64());
+    assert!(reading.joules > 0.0);
+    assert!(reading.busy_core_seconds > 0.0);
+}
+
+#[test]
+fn perforation_baseline_is_available_where_the_paper_applies_it() {
+    for benchmark in all_benchmarks() {
+        let info = benchmark.info();
+        if info.perforation_supported {
+            let run = benchmark.run(&ExecutionConfig {
+                workers: workers(),
+                approach: Approach::Perforation {
+                    degree: Degree::Aggressive,
+                },
+            });
+            assert!(!run.values.is_empty(), "{} perforation run empty", info.name);
+        } else {
+            assert_eq!(
+                info.name, "Fluidanimate",
+                "only Fluidanimate lacks a perforation comparator"
+            );
+        }
+    }
+}
