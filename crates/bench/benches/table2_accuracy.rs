@@ -22,7 +22,10 @@ fn table2_bench(c: &mut Criterion) {
         ..Default::default()
     };
     let rows = table2::run(Some("Sobel"), &defaults);
-    eprintln!("\nTable 2 (Sobel, Medium degree):\n{}", table2::render(&rows));
+    eprintln!(
+        "\nTable 2 (Sobel, Medium degree):\n{}",
+        table2::render(&rows)
+    );
 
     let benchmark = sobel();
     let mut group = c.benchmark_group("table2/sobel-medium");

@@ -1,0 +1,422 @@
+//! Scheduler hot-path overhead benchmark.
+//!
+//! Measures spawn + execute + taskwait throughput for empty-body tasks —
+//! pure scheduler overhead, the quantity the paper's Figure 4 compares
+//! against OpenMP — for two scheduler designs:
+//!
+//! * **mutex baseline**: a faithful, self-contained re-implementation of the
+//!   seed scheduler's hot path — `Mutex<VecDeque>` per-worker queues, a
+//!   condvar broadcast to *all* workers on every enqueue, a second condvar
+//!   broadcast on every completion, a 1 ms idle polling loop, and a
+//!   mutex-guarded per-task statistics log;
+//! * **lock-free runtime**: the actual `sig-core` runtime (Chase–Lev-style
+//!   stealable deques + MPMC inboxes, targeted park/unpark wakeups,
+//!   event-count barriers, sharded statistics).
+//!
+//! Results are written as JSON (default `BENCH_sched.json`) so the speedup
+//! is committed alongside the code that produced it.
+//!
+//! ```text
+//! sched-overhead [--workers N] [--tasks N] [--reps N] [--smoke] [--out PATH]
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sig_core::{Policy, Runtime};
+
+/// Faithful reduction of the seed scheduler's hot path (see module docs).
+///
+/// Every per-task cost of the seed design is reproduced, operation for
+/// operation: the two mutex-guarded body slots (both locked again at cleanup),
+/// the unconditional dependence-tracker lock at spawn, the registry RwLock
+/// lookup per execution, the mutex-guarded successor list, the per-execution
+/// statistics-log mutex, the enqueue broadcast, the completion broadcast, and
+/// the 1 ms / 5 ms polling waits.
+mod baseline {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicU8;
+    use std::sync::RwLock;
+
+    type Body = Box<dyn FnOnce() + Send + 'static>;
+
+    /// Mirrors the seed's `Task`: mutex body slots + atomic flags.
+    struct Job {
+        accurate: Mutex<Option<Body>>,
+        approximate: Mutex<Option<Body>>,
+        mode: AtomicU8,
+        pending_deps: AtomicUsize,
+        released: AtomicBool,
+        enqueued: AtomicBool,
+        completed: AtomicBool,
+        successors: Mutex<Vec<Arc<Job>>>,
+    }
+
+    /// Mirrors the seed's per-group state the execute path touched.
+    struct Group {
+        outstanding: AtomicUsize,
+        log: Mutex<Vec<(u8, u8)>>,
+    }
+
+    struct Inner {
+        queues: Vec<Mutex<VecDeque<Arc<Job>>>>,
+        groups: RwLock<Vec<Arc<Group>>>,
+        tracker: Mutex<HashMap<u64, u64>>,
+        next: AtomicUsize,
+        outstanding: AtomicUsize,
+        completed: AtomicUsize,
+        accurate: AtomicUsize,
+        busy_nanos: AtomicUsize,
+        shutdown: AtomicBool,
+        work_mutex: Mutex<()>,
+        work_available: Condvar,
+        completion_mutex: Mutex<()>,
+        completion: Condvar,
+    }
+
+    pub struct MutexScheduler {
+        inner: Arc<Inner>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    impl MutexScheduler {
+        pub fn new(workers: usize) -> Self {
+            let group = Arc::new(Group {
+                outstanding: AtomicUsize::new(0),
+                log: Mutex::new(Vec::new()),
+            });
+            let inner = Arc::new(Inner {
+                queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+                groups: RwLock::new(vec![group]),
+                tracker: Mutex::new(HashMap::new()),
+                next: AtomicUsize::new(0),
+                outstanding: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                accurate: AtomicUsize::new(0),
+                busy_nanos: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                work_mutex: Mutex::new(()),
+                work_available: Condvar::new(),
+                completion_mutex: Mutex::new(()),
+                completion: Condvar::new(),
+            });
+            let handles = (0..workers)
+                .map(|index| {
+                    let inner = inner.clone();
+                    std::thread::spawn(move || worker_loop(&inner, index))
+                })
+                .collect();
+            MutexScheduler {
+                inner,
+                workers: handles,
+            }
+        }
+
+        pub fn spawn(&self, body: Body) {
+            let inner = &self.inner;
+            let job = Arc::new(Job {
+                accurate: Mutex::new(Some(body)),
+                approximate: Mutex::new(None),
+                mode: AtomicU8::new(0),
+                pending_deps: AtomicUsize::new(0),
+                released: AtomicBool::new(false),
+                enqueued: AtomicBool::new(false),
+                completed: AtomicBool::new(false),
+                successors: Mutex::new(Vec::new()),
+            });
+            inner.outstanding.fetch_add(1, Ordering::AcqRel);
+            inner.groups.read().unwrap()[0]
+                .outstanding
+                .fetch_add(1, Ordering::AcqRel);
+            // Seed behaviour: the dependence tracker is locked on every
+            // spawn, footprint or not.
+            job.pending_deps.store(1, Ordering::Release);
+            drop(inner.tracker.lock().unwrap());
+            // Agnostic policy: decide accurate, release, enqueue.
+            let _ = job
+                .mode
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+            job.released.swap(true, Ordering::AcqRel);
+            job.pending_deps.fetch_sub(1, Ordering::AcqRel);
+            if !job.enqueued.swap(true, Ordering::AcqRel) {
+                let slot = inner.next.fetch_add(1, Ordering::Relaxed) % inner.queues.len();
+                inner.queues[slot].lock().unwrap().push_back(job);
+                // Seed behaviour: broadcast to every sleeper on every enqueue.
+                let _guard = inner.work_mutex.lock().unwrap();
+                inner.work_available.notify_all();
+            }
+        }
+
+        pub fn wait_all(&self) {
+            // Seed behaviour: 5 ms polling re-check on the completion condvar.
+            let inner = &self.inner;
+            let mut guard = inner.completion_mutex.lock().unwrap();
+            while inner.outstanding.load(Ordering::Acquire) != 0 {
+                let (g, _) = inner
+                    .completion
+                    .wait_timeout(guard, Duration::from_millis(5))
+                    .unwrap();
+                guard = g;
+            }
+        }
+    }
+
+    impl Drop for MutexScheduler {
+        fn drop(&mut self) {
+            self.wait_all();
+            self.inner.shutdown.store(true, Ordering::Release);
+            {
+                let _guard = self.inner.work_mutex.lock().unwrap();
+                self.inner.work_available.notify_all();
+            }
+            for handle in self.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn pop_any(inner: &Inner, index: usize) -> Option<Arc<Job>> {
+        let n = inner.queues.len();
+        if let Some(job) = inner.queues[index].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) = inner.queues[victim].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn execute(inner: &Inner, job: Arc<Job>) {
+        // Seed behaviour: group state is fetched from the registry (RwLock)
+        // for every executed task.
+        let group = inner.groups.read().unwrap()[0].clone();
+        let accurate = job.mode.load(Ordering::Acquire) == 1;
+        let start = Instant::now();
+        if accurate {
+            if let Some(body) = job.accurate.lock().unwrap().take() {
+                body();
+            }
+        }
+        let busy = start.elapsed();
+        // Seed behaviour: both body slots locked again to drop the loser.
+        drop(job.accurate.lock().unwrap().take());
+        drop(job.approximate.lock().unwrap().take());
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        inner.accurate.fetch_add(1, Ordering::Relaxed);
+        inner
+            .busy_nanos
+            .fetch_add(busy.as_nanos() as usize, Ordering::Relaxed);
+        // Seed behaviour: one (level, mode) entry per task into the
+        // mutex-guarded group log.
+        group.log.lock().unwrap().push((100, 0));
+        // Completion: successor list is mutex-guarded.
+        let successors = {
+            let mut successors = job.successors.lock().unwrap();
+            job.completed.store(true, Ordering::Release);
+            std::mem::take(&mut *successors)
+        };
+        drop(successors);
+        group.outstanding.fetch_sub(1, Ordering::AcqRel);
+        inner.outstanding.fetch_sub(1, Ordering::AcqRel);
+        // Seed behaviour: broadcast on every completion.
+        let _guard = inner.completion_mutex.lock().unwrap();
+        inner.completion.notify_all();
+    }
+
+    fn worker_loop(inner: &Arc<Inner>, index: usize) {
+        loop {
+            if let Some(job) = pop_any(inner, index) {
+                execute(inner, job);
+                continue;
+            }
+            if inner.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // Seed behaviour: 1 ms idle polling loop, preceded by an
+            // O(workers) queue-length scan under the queue locks.
+            let total: usize = inner.queues.iter().map(|q| q.lock().unwrap().len()).sum();
+            let guard = inner.work_mutex.lock().unwrap();
+            if total == 0 && !inner.shutdown.load(Ordering::Acquire) {
+                let _ = inner
+                    .work_available
+                    .wait_timeout(guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+struct Config {
+    workers: usize,
+    tasks: usize,
+    reps: usize,
+    out: String,
+    write_out: bool,
+    only: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        workers: 8,
+        tasks: 100_000,
+        reps: 3,
+        out: "BENCH_sched.json".to_string(),
+        write_out: true,
+        only: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number")
+            }
+            "--tasks" => {
+                config.tasks = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tasks needs a number")
+            }
+            "--reps" => {
+                config.reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number")
+            }
+            "--out" => config.out = args.next().expect("--out needs a path"),
+            "--only" => {
+                config.only = Some(args.next().expect("--only needs baseline|lockfree"));
+                config.write_out = false;
+            }
+            "--smoke" => {
+                config.tasks = 5_000;
+                config.reps = 1;
+                config.write_out = false;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: sched-overhead [--workers N] [--tasks N] [--reps N] [--smoke] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    config
+}
+
+/// Best (highest) throughput over `reps` runs of `run`, in tasks/second.
+fn best_throughput(tasks: usize, reps: usize, mut run: impl FnMut() -> Duration) -> f64 {
+    let mut best = f64::MIN;
+    for _ in 0..reps {
+        let elapsed = run().as_secs_f64().max(1e-9);
+        best = best.max(tasks as f64 / elapsed);
+    }
+    best
+}
+
+fn bench_baseline(workers: usize, tasks: usize) -> Duration {
+    let scheduler = baseline::MutexScheduler::new(workers);
+    let start = Instant::now();
+    for _ in 0..tasks {
+        scheduler.spawn(Box::new(|| {}));
+    }
+    scheduler.wait_all();
+    start.elapsed()
+}
+
+fn bench_runtime(workers: usize, tasks: usize, policy: Policy) -> Duration {
+    let rt = Runtime::builder().workers(workers).policy(policy).build();
+    let group = rt.create_group("bench", 0.5);
+    let start = Instant::now();
+    match policy {
+        Policy::SignificanceAgnostic => {
+            for _ in 0..tasks {
+                rt.task(|| {}).spawn();
+            }
+            rt.wait_all();
+        }
+        _ => {
+            for i in 0..tasks {
+                rt.task(|| {})
+                    .approx(|| {})
+                    .significance(((i % 9) + 1) as f64 / 10.0)
+                    .group(&group)
+                    .spawn();
+            }
+            rt.wait_group(&group);
+        }
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let config = parse_args();
+    let Config {
+        workers,
+        tasks,
+        reps,
+        ..
+    } = config;
+    eprintln!(
+        "sched-overhead: {tasks} empty tasks, {workers} workers, best of {reps} \
+         (host has {} cores)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // Isolation mode for profiling one scheduler at a time.
+    if let Some(only) = &config.only {
+        let throughput = match only.as_str() {
+            "baseline" => best_throughput(tasks, reps, || bench_baseline(workers, tasks)),
+            "lockfree" => best_throughput(tasks, reps, || {
+                bench_runtime(workers, tasks, Policy::SignificanceAgnostic)
+            }),
+            other => {
+                eprintln!("--only expects baseline|lockfree, got {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{only}: {throughput:.0} tasks/s");
+        return;
+    }
+
+    let baseline = best_throughput(tasks, reps, || bench_baseline(workers, tasks));
+    eprintln!("  mutex baseline      : {baseline:>12.0} tasks/s");
+    let agnostic = best_throughput(tasks, reps, || {
+        bench_runtime(workers, tasks, Policy::SignificanceAgnostic)
+    });
+    eprintln!("  lock-free agnostic  : {agnostic:>12.0} tasks/s");
+    let gtb = best_throughput(tasks, reps, || {
+        bench_runtime(workers, tasks, Policy::Gtb { buffer_size: 32 })
+    });
+    eprintln!("  lock-free GTB(32)   : {gtb:>12.0} tasks/s");
+    let lqh = best_throughput(tasks, reps, || bench_runtime(workers, tasks, Policy::Lqh));
+    eprintln!("  lock-free LQH       : {lqh:>12.0} tasks/s");
+
+    let speedup = agnostic / baseline;
+    eprintln!("  speedup (agnostic vs mutex baseline): {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sched_overhead\",\n  \"description\": \"spawn+execute+taskwait \
+         throughput for empty-body tasks (pure scheduler overhead)\",\n  \"workers\": {workers},\n  \
+         \"tasks\": {tasks},\n  \"reps\": {reps},\n  \"host_cores\": {cores},\n  \
+         \"baseline_mutex_tasks_per_sec\": {baseline:.0},\n  \
+         \"lockfree_agnostic_tasks_per_sec\": {agnostic:.0},\n  \
+         \"lockfree_gtb32_tasks_per_sec\": {gtb:.0},\n  \
+         \"lockfree_lqh_tasks_per_sec\": {lqh:.0},\n  \
+         \"speedup_agnostic_vs_baseline\": {speedup:.2}\n}}\n",
+        cores = std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    if config.write_out {
+        std::fs::write(&config.out, &json).expect("failed to write results");
+        eprintln!("  wrote {}", config.out);
+    }
+    println!("{json}");
+}

@@ -148,18 +148,20 @@ impl DependenceTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::group::GroupId;
+    use crate::group::{GroupId, GroupState};
     use crate::significance::Significance;
     use crate::task::TaskId;
 
     fn task(id: u64, outs: Vec<DepKey>) -> Arc<Task> {
+        let group = Arc::new(GroupState::new(GroupId::GLOBAL, Arc::from("<t>"), 1.0, 1));
         Arc::new(Task::new(
             TaskId(id),
-            GroupId::GLOBAL,
+            group,
             Significance::CRITICAL,
             Box::new(|| {}),
             None,
-            outs,
+            outs.clone(),
+            !outs.is_empty(),
         ))
     }
 

@@ -1,0 +1,768 @@
+//! Lock-free per-worker scheduling queues.
+//!
+//! The paper's runtime "is organized as a master/slave work-sharing
+//! scheduler. ... For every task call encountered, the task is enqueued in a
+//! per-worker task queue. Tasks are distributed across workers in round-robin
+//! fashion. Workers select the oldest tasks from their queues for execution.
+//! When a worker's queue runs empty, the worker may steal tasks from other
+//! worker's queues." (Section 3)
+//!
+//! The seed implementation used a `Mutex<VecDeque>` per worker; the paper's
+//! whole pitch, however, is *low per-task overhead* (Figure 4 measures it
+//! against OpenMP), and fine-grained tasks hammer these queues. Each worker
+//! therefore now owns two lock-free structures:
+//!
+//! * a [`StealQueue`] — a Chase–Lev-style growable ring buffer. Only the
+//!   owning worker pushes (single producer, plain store + release publish);
+//!   the owner *and* thieves consume from the opposite end with one CAS,
+//!   which preserves the paper's oldest-first execution order. The classic
+//!   Chase–Lev LIFO owner pop is also provided (and tested) but the
+//!   scheduler consumes FIFO as the paper prescribes.
+//! * an [`Inbox`] — a bounded Vyukov-style MPMC ring used by threads that do
+//!   not own the queue: the master distributing spawned tasks round-robin,
+//!   and workers releasing dependence successors to siblings. Thieves may
+//!   also pop a victim's inbox so distributed-but-unstarted work is always
+//!   stealable.
+//!
+//! Memory reclamation needs no epoch machinery: steal-queue buffers retired
+//! by growth are kept until the queue drops (growth doubles, so retired
+//! buffers total less than the live one), and inbox slots hand ownership
+//! over with a per-slot sequence number.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::task::Task;
+
+const INITIAL_DEQUE_CAPACITY: usize = 64;
+const INBOX_CAPACITY: usize = 1024;
+
+/// Growable power-of-two ring of task pointers.
+struct Buffer {
+    slots: Box<[AtomicPtr<Task>]>,
+}
+
+impl Buffer {
+    fn new(capacity: usize) -> Buffer {
+        debug_assert!(capacity.is_power_of_two());
+        Buffer {
+            slots: (0..capacity)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    fn at(&self, index: u64) -> &AtomicPtr<Task> {
+        &self.slots[(index & (self.capacity() - 1)) as usize]
+    }
+}
+
+/// A single worker's stealable queue (Chase–Lev layout: owner end + steal
+/// end over a growable ring).
+///
+/// Indices increase monotonically and never wrap (a `u64` outlives any run),
+/// so there is no ABA hazard on the `top` CAS. A consumed slot value is only
+/// *used* when the CAS on `top` succeeds; success proves the owner cannot
+/// have recycled that slot, because recycling requires `top` to have moved
+/// past it first.
+pub(crate) struct StealQueue {
+    /// Next index to consume — the **oldest** queued task.
+    top: AtomicU64,
+    /// Next index to fill. Written only by the owner.
+    bottom: AtomicU64,
+    buffer: AtomicPtr<Buffer>,
+    /// Buffers replaced by growth; freed on drop. Owner-only.
+    retired: UnsafeCell<Vec<*mut Buffer>>,
+}
+
+// SAFETY: `retired` is touched only by the owning worker (push/grow) and by
+// `Drop` (exclusive access); every other field is atomic.
+unsafe impl Send for StealQueue {}
+unsafe impl Sync for StealQueue {}
+
+impl StealQueue {
+    pub(crate) fn new() -> StealQueue {
+        StealQueue {
+            top: AtomicU64::new(0),
+            bottom: AtomicU64::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(INITIAL_DEQUE_CAPACITY)))),
+            retired: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Owner-only: append a task at the bottom (newest) end. Never blocks;
+    /// grows the ring when full.
+    pub(crate) fn push(&self, task: Arc<Task>) {
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let top = self.top.load(Ordering::Acquire);
+        let mut buffer = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: `buffer` is a live allocation: only the owner (this thread)
+        // replaces it, and replaced buffers stay allocated until drop.
+        if bottom - top >= unsafe { (*buffer).capacity() } {
+            buffer = self.grow(top, bottom);
+        }
+        let raw = Arc::into_raw(task) as *mut Task;
+        unsafe { (*buffer).at(bottom).store(raw, Ordering::Relaxed) };
+        // Publish the slot before the new bottom; SeqCst pairs with the
+        // sleep-flag protocol in the scheduler (push must be visible to a
+        // worker that subsequently observes an empty queue and parks).
+        self.bottom.store(bottom + 1, Ordering::SeqCst);
+    }
+
+    /// Consume the **oldest** task. Used by the owner (paper order) and by
+    /// thieves; any number of threads may race here, one CAS each.
+    pub(crate) fn take(&self) -> Option<Arc<Task>> {
+        loop {
+            let top = self.top.load(Ordering::SeqCst);
+            let bottom = self.bottom.load(Ordering::SeqCst);
+            if top >= bottom {
+                return None;
+            }
+            let buffer = self.buffer.load(Ordering::Acquire);
+            // SAFETY: live or retired-but-not-freed allocation (see above).
+            let raw = unsafe { (*buffer).at(top).load(Ordering::Relaxed) };
+            if self
+                .top
+                .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the CAS on `top` transfers ownership of exactly
+                // this slot's reference to us; the slot cannot have been
+                // overwritten while `top` still equalled `top` (the owner
+                // reuses a slot only after `top` passes it).
+                return Some(unsafe { Arc::from_raw(raw) });
+            }
+        }
+    }
+
+    /// Owner-only: consume the **newest** task (classic Chase–Lev LIFO pop).
+    /// Not used by the scheduler — the paper wants oldest-first — but kept
+    /// correct and tested for future policies (e.g. locality-first modes).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn pop_newest(&self) -> Option<Arc<Task>> {
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let top = self.top.load(Ordering::SeqCst);
+        if top >= bottom {
+            return None;
+        }
+        let target = bottom - 1;
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: live allocation; slot `target` was written by this thread.
+        let raw = unsafe { (*buffer).at(target).load(Ordering::Relaxed) };
+        // Claim the slot against concurrent thieves by advancing `top` past
+        // it is impossible (thieves take from top), so instead reserve via
+        // bottom: publish the shrink, then re-check for a race on the last
+        // element.
+        self.bottom.store(target, Ordering::SeqCst);
+        let top = self.top.load(Ordering::SeqCst);
+        if top <= target {
+            if top == target {
+                // Single element left: race thieves for it via the top CAS.
+                let won = self
+                    .top
+                    .compare_exchange(top, top + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(target + 1, Ordering::SeqCst);
+                if won {
+                    // SAFETY: the CAS transferred this slot's reference.
+                    return Some(unsafe { Arc::from_raw(raw) });
+                }
+                return None;
+            }
+            // SAFETY: bottom was published before re-reading top, so no
+            // thief can have claimed `target`.
+            return Some(unsafe { Arc::from_raw(raw) });
+        }
+        // A thief took it first; restore bottom.
+        self.bottom.store(target + 1, Ordering::SeqCst);
+        None
+    }
+
+    /// Racy emptiness check for the sleep path (precise enough under the
+    /// Dekker pairing with the producer's post-push wakeup).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.top.load(Ordering::SeqCst) >= self.bottom.load(Ordering::SeqCst)
+    }
+
+    /// Number of queued tasks (racy; for stats and tests).
+    pub(crate) fn len(&self) -> usize {
+        let bottom = self.bottom.load(Ordering::SeqCst);
+        let top = self.top.load(Ordering::SeqCst);
+        bottom.saturating_sub(top) as usize
+    }
+
+    /// Owner-only: replace the ring with one of twice the capacity.
+    fn grow(&self, top: u64, bottom: u64) -> *mut Buffer {
+        let old = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: live allocation, owner thread.
+        let new = Box::new(Buffer::new((unsafe { (*old).capacity() } * 2) as usize));
+        for index in top..bottom {
+            let value = unsafe { (*old).at(index).load(Ordering::Relaxed) };
+            new.at(index).store(value, Ordering::Relaxed);
+        }
+        let new = Box::into_raw(new);
+        self.buffer.store(new, Ordering::Release);
+        // Thieves may still be reading the old buffer: retire, free on drop.
+        // SAFETY: `retired` is owner-only.
+        unsafe { (*self.retired.get()).push(old) };
+        new
+    }
+}
+
+impl Drop for StealQueue {
+    fn drop(&mut self) {
+        while self.take().is_some() {}
+        // SAFETY: exclusive access in drop; these pointers came from
+        // `Box::into_raw` and are freed exactly once.
+        unsafe {
+            for retired in (*self.retired.get()).drain(..) {
+                drop(Box::from_raw(retired));
+            }
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+        }
+    }
+}
+
+/// One slot of the [`Inbox`]: a sequence number plus the task pointer.
+struct InboxSlot {
+    sequence: AtomicU64,
+    value: UnsafeCell<MaybeUninit<*const Task>>,
+}
+
+/// Bounded MPMC ring (Vyukov's algorithm): lock-free pushes from any thread,
+/// lock-free pops from any thread, per-slot sequence numbers carrying
+/// ownership. A full inbox rejects the push — the caller falls back (owner
+/// deque or a sibling inbox), so producers never block the hot path.
+pub(crate) struct Inbox {
+    slots: Box<[InboxSlot]>,
+    mask: u64,
+    /// Next position to claim for a push.
+    enqueue: AtomicU64,
+    /// Next position to claim for a pop.
+    dequeue: AtomicU64,
+}
+
+// SAFETY: slot values are only accessed by the thread that claimed the slot
+// via the corresponding CAS, with the sequence number store/load pair
+// ordering the handover.
+unsafe impl Send for Inbox {}
+unsafe impl Sync for Inbox {}
+
+impl Inbox {
+    pub(crate) fn new() -> Inbox {
+        Inbox::with_capacity(INBOX_CAPACITY)
+    }
+
+    fn with_capacity(capacity: usize) -> Inbox {
+        debug_assert!(capacity.is_power_of_two());
+        Inbox {
+            slots: (0..capacity)
+                .map(|index| InboxSlot {
+                    sequence: AtomicU64::new(index as u64),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            mask: capacity as u64 - 1,
+            enqueue: AtomicU64::new(0),
+            dequeue: AtomicU64::new(0),
+        }
+    }
+
+    /// Push from any thread. Returns the task back if the inbox is full.
+    pub(crate) fn push(&self, task: Arc<Task>) -> Result<(), Arc<Task>> {
+        loop {
+            let position = self.enqueue.load(Ordering::Relaxed);
+            let slot = &self.slots[(position & self.mask) as usize];
+            let sequence = slot.sequence.load(Ordering::Acquire);
+            if sequence == position {
+                // SeqCst success ordering: `is_empty` (the pre-park
+                // work re-check) reads this cursor, so the advance must be
+                // in the SC order with the sleep-flag protocol.
+                if self
+                    .enqueue
+                    .compare_exchange_weak(
+                        position,
+                        position + 1,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    // SAFETY: the CAS gave this thread exclusive write access
+                    // to the slot until the sequence store below.
+                    unsafe { (*slot.value.get()).write(Arc::into_raw(task)) };
+                    slot.sequence.store(position + 1, Ordering::SeqCst);
+                    return Ok(());
+                }
+            } else if sequence < position {
+                return Err(task); // full: a lap behind
+            }
+            // Another producer claimed this slot first; retry at the new tail.
+        }
+    }
+
+    /// Pop from any thread (the owning worker or a thief).
+    pub(crate) fn pop(&self) -> Option<Arc<Task>> {
+        loop {
+            let position = self.dequeue.load(Ordering::Relaxed);
+            let slot = &self.slots[(position & self.mask) as usize];
+            let sequence = slot.sequence.load(Ordering::Acquire);
+            if sequence == position + 1 {
+                if self
+                    .dequeue
+                    .compare_exchange_weak(
+                        position,
+                        position + 1,
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    // SAFETY: the CAS gave this thread exclusive read access;
+                    // the producer's sequence store published the write.
+                    let raw = unsafe { (*slot.value.get()).assume_init() };
+                    slot.sequence
+                        .store(position + self.mask + 1, Ordering::Release);
+                    // SAFETY: ownership of the reference moves to the caller.
+                    return Some(unsafe { Arc::from_raw(raw) });
+                }
+            } else if sequence <= position {
+                return None; // empty (or a producer is mid-publish)
+            }
+            // Another consumer claimed this slot first; retry at the new head.
+        }
+    }
+
+    /// Racy emptiness check for the sleep path. May briefly report non-empty
+    /// for a push still being published — the worker then simply re-loops.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.dequeue.load(Ordering::SeqCst) >= self.enqueue.load(Ordering::SeqCst)
+    }
+
+    /// Number of queued tasks (racy; for stats and tests).
+    pub(crate) fn len(&self) -> usize {
+        let enqueue = self.enqueue.load(Ordering::SeqCst);
+        let dequeue = self.dequeue.load(Ordering::SeqCst);
+        enqueue.saturating_sub(dequeue) as usize
+    }
+}
+
+impl Drop for Inbox {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+/// One worker's queues.
+pub(crate) struct WorkerQueue {
+    /// Owner-pushed work (dependence successors released by this worker).
+    pub(crate) deque: StealQueue,
+    /// Work delivered by other threads (master round-robin distribution,
+    /// successors released by sibling workers).
+    pub(crate) inbox: Inbox,
+    /// Number of tasks in `spill`; lets consumers skip the spill lock with a
+    /// single load on the (overwhelmingly common) spill-empty fast path.
+    spill_len: AtomicUsize,
+    /// Unbounded overflow behind the inbox. Only touched when a producer
+    /// outruns the consumers by a full inbox (e.g. a master spawning a burst
+    /// far faster than workers drain) — without it, producers would have to
+    /// spin-yield on full inboxes, serialising exactly the flood workloads
+    /// the scheduler exists for. FIFO order is preserved: once anything
+    /// spills, later external pushes spill too until the spill drains, so
+    /// inbox entries are always older than spill entries.
+    spill: std::sync::Mutex<std::collections::VecDeque<Arc<Task>>>,
+}
+
+impl WorkerQueue {
+    fn new() -> WorkerQueue {
+        WorkerQueue {
+            deque: StealQueue::new(),
+            inbox: Inbox::new(),
+            spill_len: AtomicUsize::new(0),
+            spill: std::sync::Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// External (non-owner) push: lock-free inbox first, spill on overflow.
+    fn push_external(&self, task: Arc<Task>) {
+        let task = if self.spill_len.load(Ordering::SeqCst) == 0 {
+            match self.inbox.push(task) {
+                Ok(()) => return,
+                Err(rejected) => rejected,
+            }
+        } else {
+            task
+        };
+        let mut spill = self.spill.lock().unwrap();
+        spill.push_back(task);
+        self.spill_len.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn pop_spill(&self) -> Option<Arc<Task>> {
+        if self.spill_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut spill = self.spill.lock().unwrap();
+        let task = spill.pop_front();
+        if task.is_some() {
+            self.spill_len.fetch_sub(1, Ordering::SeqCst);
+        }
+        task
+    }
+
+    fn pop(&self) -> Option<Arc<Task>> {
+        self.deque
+            .take()
+            .or_else(|| self.inbox.pop())
+            .or_else(|| self.pop_spill())
+    }
+
+    fn has_work(&self) -> bool {
+        !self.deque.is_empty()
+            || !self.inbox.is_empty()
+            || self.spill_len.load(Ordering::SeqCst) > 0
+    }
+}
+
+/// The set of all worker queues plus the round-robin cursor used to
+/// distribute tasks, mirroring the paper's master/slave layout.
+pub(crate) struct QueueSet {
+    workers: Box<[WorkerQueue]>,
+    next: AtomicUsize,
+}
+
+impl QueueSet {
+    pub(crate) fn new(workers: usize) -> QueueSet {
+        assert!(workers > 0, "at least one worker queue is required");
+        QueueSet {
+            workers: (0..workers).map(|_| WorkerQueue::new()).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker queues.
+    pub(crate) fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a task and return the index of the worker that should be
+    /// woken.
+    ///
+    /// `local` identifies the calling thread when it is one of this
+    /// runtime's workers: that worker pushes straight onto its own stealable
+    /// deque — the zero-contention single-producer fast path. Every other
+    /// thread (the master above all) distributes round-robin across worker
+    /// inboxes, the paper's distribution scheme, overflowing into the
+    /// target's unbounded spill when the inbox is full so producers never
+    /// stall.
+    pub(crate) fn push(&self, task: Arc<Task>, local: Option<usize>) -> usize {
+        if let Some(worker) = local {
+            debug_assert!(worker < self.workers.len());
+            self.workers[worker].deque.push(task);
+            return worker;
+        }
+        let target = self.next.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        self.workers[target].push_external(task);
+        target
+    }
+
+    /// Worker-local pop: oldest own-deque task first, then the inbox, then
+    /// the spill.
+    pub(crate) fn pop_local(&self, worker: usize) -> Option<Arc<Task>> {
+        self.workers[worker].pop()
+    }
+
+    /// Attempt to steal on behalf of `thief`, scanning the other workers'
+    /// deques, inboxes and spills.
+    pub(crate) fn steal(&self, thief: usize) -> Option<Arc<Task>> {
+        let count = self.workers.len();
+        for offset in 1..count {
+            let victim = &self.workers[(thief + offset) % count];
+            if let Some(task) = victim.pop() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Whether any queue holds work (racy; used by the sleep protocol under
+    /// the Dekker pairing described in [`crate::sync::Parker`]).
+    pub(crate) fn any_work(&self) -> bool {
+        self.workers.iter().any(WorkerQueue::has_work)
+    }
+
+    /// Total queued (issued but not yet started) tasks, racy, for tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn total_queued(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.deque.len() + w.inbox.len() + w.spill_len.load(Ordering::SeqCst))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{GroupId, GroupState};
+    use crate::significance::Significance;
+    use crate::task::TaskId;
+    use std::sync::atomic::AtomicUsize;
+
+    fn group() -> Arc<GroupState> {
+        Arc::new(GroupState::new(
+            GroupId::GLOBAL,
+            Arc::from("<test>"),
+            1.0,
+            1,
+        ))
+    }
+
+    fn task(id: u64) -> Arc<Task> {
+        Arc::new(Task::new(
+            TaskId(id),
+            group(),
+            Significance::CRITICAL,
+            Box::new(|| {}),
+            None,
+            Vec::new(),
+            false,
+        ))
+    }
+
+    #[test]
+    fn steal_queue_is_fifo() {
+        let q = StealQueue::new();
+        q.push(task(1));
+        q.push(task(2));
+        q.push(task(3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.take().unwrap().id, TaskId(1));
+        assert_eq!(q.take().unwrap().id, TaskId(2));
+        assert_eq!(q.take().unwrap().id, TaskId(3));
+        assert!(q.take().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn steal_queue_grows_past_initial_capacity() {
+        let q = StealQueue::new();
+        let n = (INITIAL_DEQUE_CAPACITY * 4 + 3) as u64;
+        for i in 0..n {
+            q.push(task(i));
+        }
+        assert_eq!(q.len(), n as usize);
+        for i in 0..n {
+            assert_eq!(q.take().unwrap().id, TaskId(i));
+        }
+        assert!(q.take().is_none());
+    }
+
+    #[test]
+    fn steal_queue_pop_newest_is_lifo() {
+        let q = StealQueue::new();
+        q.push(task(1));
+        q.push(task(2));
+        assert_eq!(q.pop_newest().unwrap().id, TaskId(2));
+        assert_eq!(q.take().unwrap().id, TaskId(1));
+        assert!(q.pop_newest().is_none());
+    }
+
+    #[test]
+    fn steal_queue_drop_releases_queued_tasks() {
+        let q = StealQueue::new();
+        let probe = task(9);
+        q.push(probe.clone());
+        drop(q);
+        assert_eq!(Arc::strong_count(&probe), 1, "queue must release its ref");
+    }
+
+    #[test]
+    fn concurrent_consumers_take_each_task_once() {
+        let q = Arc::new(StealQueue::new());
+        let n = 10_000u64;
+        for i in 0..n {
+            q.push(task(i));
+        }
+        let taken = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                let taken = taken.clone();
+                std::thread::spawn(move || {
+                    while q.take().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(taken.load(Ordering::Relaxed), n as usize);
+    }
+
+    #[test]
+    fn inbox_round_trips_in_order() {
+        let inbox = Inbox::with_capacity(8);
+        assert!(inbox.is_empty());
+        for i in 0..5 {
+            inbox.push(task(i)).unwrap();
+        }
+        assert_eq!(inbox.len(), 5);
+        for i in 0..5 {
+            assert_eq!(inbox.pop().unwrap().id, TaskId(i));
+        }
+        assert!(inbox.pop().is_none());
+    }
+
+    #[test]
+    fn inbox_rejects_when_full_then_recovers() {
+        let inbox = Inbox::with_capacity(4);
+        for i in 0..4 {
+            inbox.push(task(i)).unwrap();
+        }
+        let rejected = inbox.push(task(99)).unwrap_err();
+        assert_eq!(rejected.id, TaskId(99));
+        assert_eq!(inbox.pop().unwrap().id, TaskId(0));
+        inbox.push(rejected).unwrap();
+        assert_eq!(inbox.len(), 4);
+    }
+
+    #[test]
+    fn inbox_concurrent_producers_and_consumers() {
+        let inbox = Arc::new(Inbox::with_capacity(64));
+        let produced = 4 * 2_500usize;
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let inbox = inbox.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_500u64 {
+                        let mut item = task(p * 10_000 + i);
+                        loop {
+                            match inbox.push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let inbox = inbox.clone();
+                let consumed = consumed.clone();
+                std::thread::spawn(move || loop {
+                    if inbox.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    } else if consumed.load(Ordering::Relaxed) >= 10_000 {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        for h in consumers {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn queue_set_external_push_is_round_robin() {
+        let set = QueueSet::new(4);
+        for i in 0..8 {
+            set.push(task(i), None);
+        }
+        for w in 0..4 {
+            assert_eq!(
+                set.workers[w].inbox.len(),
+                2,
+                "worker {w} should hold 2 tasks"
+            );
+        }
+        assert_eq!(set.total_queued(), 8);
+    }
+
+    #[test]
+    fn worker_queue_spills_past_a_full_inbox_and_preserves_order() {
+        let queue = WorkerQueue::new();
+        let n = INBOX_CAPACITY as u64 + 100;
+        for i in 0..n {
+            queue.push_external(task(i));
+        }
+        assert_eq!(queue.spill_len.load(Ordering::SeqCst), 100);
+        for i in 0..n {
+            assert_eq!(queue.pop().unwrap().id, TaskId(i), "order broken at {i}");
+        }
+        assert!(!queue.has_work());
+    }
+
+    #[test]
+    fn queue_set_local_push_goes_to_own_deque() {
+        let set = QueueSet::new(2);
+        let woken = set.push(task(1), Some(1));
+        assert_eq!(woken, 1);
+        assert_eq!(set.workers[1].deque.len(), 1);
+        assert_eq!(set.workers[1].inbox.len(), 0);
+        assert_eq!(set.pop_local(1).unwrap().id, TaskId(1));
+    }
+
+    #[test]
+    fn steal_scans_other_queues_and_inboxes() {
+        let set = QueueSet::new(3);
+        set.push(task(7), Some(2));
+        let stolen = set.steal(0).expect("worker 0 should steal from worker 2");
+        assert_eq!(stolen.id, TaskId(7));
+        assert!(set.steal(0).is_none());
+        // Inbox work is stealable too.
+        set.workers[1].inbox.push(task(8)).unwrap();
+        assert_eq!(set.steal(0).unwrap().id, TaskId(8));
+    }
+
+    #[test]
+    fn steal_never_takes_from_own_queue() {
+        let set = QueueSet::new(2);
+        set.push(task(9), Some(1));
+        assert!(
+            set.steal(1).is_none(),
+            "a worker must not steal from itself"
+        );
+        assert_eq!(set.workers[1].deque.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        QueueSet::new(0);
+    }
+
+    #[test]
+    fn single_worker_set() {
+        let set = QueueSet::new(1);
+        set.push(task(1), None);
+        set.push(task(2), Some(0));
+        assert!(set.any_work());
+        assert_eq!(set.total_queued(), 2);
+        assert!(set.steal(0).is_none());
+        assert!(set.pop_local(0).is_some());
+        assert!(set.pop_local(0).is_some());
+        assert!(!set.any_work());
+    }
+}

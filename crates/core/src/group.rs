@@ -8,14 +8,17 @@
 //! * **barrier synchronisation** happens (`tpc_wait_group()`), and
 //! * the GTB policy keeps its **task buffer** and the statistics of Table 2
 //!   are collected.
+//!
+//! Execution-hot state (the ratio, the outstanding counter, the statistics)
+//! is atomic or sharded; locks remain only on master-side cold paths (group
+//! creation, the GTB spawn buffer).
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicUsize;
-use std::sync::Arc;
-
-use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::stats::GroupStats;
+use crate::sync::EventCount;
 use crate::task::Task;
 
 /// Identifier of a task group.
@@ -35,7 +38,7 @@ impl GroupId {
 }
 
 /// A cheaply clonable handle to a task group, returned by
-/// [`Runtime::group`](crate::runtime::Runtime::group).
+/// [`Runtime::create_group`](crate::runtime::Runtime::create_group).
 #[derive(Debug, Clone)]
 pub struct TaskGroup {
     pub(crate) id: GroupId,
@@ -58,18 +61,23 @@ impl TaskGroup {
 pub(crate) struct GroupState {
     pub(crate) id: GroupId,
     pub(crate) name: Arc<str>,
-    /// Target ratio of accurately executed tasks, `R_g ∈ [0, 1]`.
-    ratio: Mutex<f64>,
+    /// Target ratio of accurately executed tasks, `R_g ∈ [0, 1]`, stored as
+    /// `f64` bits so the execution hot path reads it without a lock.
+    ratio_bits: AtomicU64,
     /// Tasks spawned into this group and not yet completed.
     pub(crate) outstanding: AtomicUsize,
-    /// GTB: tasks buffered by the master, awaiting a flush.
+    /// Barrier waiters for `taskwait label(...)`; notified only when
+    /// `outstanding` drops to zero, so per-completion cost is one atomic
+    /// load when nobody waits.
+    pub(crate) barrier: EventCount,
+    /// GTB: tasks buffered by the master, awaiting a flush. Master-side only.
     pub(crate) buffer: Mutex<Vec<Arc<Task>>>,
-    /// Execution statistics (Table 2 inputs).
+    /// Execution statistics (Table 2 inputs), sharded per worker.
     pub(crate) stats: GroupStats,
 }
 
 impl GroupState {
-    pub(crate) fn new(id: GroupId, name: Arc<str>, ratio: f64) -> Self {
+    pub(crate) fn new(id: GroupId, name: Arc<str>, ratio: f64, stat_shards: usize) -> Self {
         assert!(
             (0.0..=1.0).contains(&ratio),
             "accurate-task ratio must be in [0, 1], got {ratio}"
@@ -77,16 +85,17 @@ impl GroupState {
         GroupState {
             id,
             name,
-            ratio: Mutex::new(ratio),
+            ratio_bits: AtomicU64::new(ratio.to_bits()),
             outstanding: AtomicUsize::new(0),
+            barrier: EventCount::default(),
             buffer: Mutex::new(Vec::new()),
-            stats: GroupStats::default(),
+            stats: GroupStats::new(stat_shards),
         }
     }
 
     /// Current target accurate-task ratio.
     pub(crate) fn ratio(&self) -> f64 {
-        *self.ratio.lock()
+        f64::from_bits(self.ratio_bits.load(Ordering::Acquire))
     }
 
     /// Update the target ratio (the `ratio(...)` clause of `taskwait`).
@@ -95,28 +104,43 @@ impl GroupState {
             (0.0..=1.0).contains(&ratio),
             "accurate-task ratio must be in [0, 1], got {ratio}"
         );
-        *self.ratio.lock() = ratio;
+        self.ratio_bits.store(ratio.to_bits(), Ordering::Release);
     }
 }
 
 /// Registry mapping group labels to group state.
-#[derive(Default)]
 pub(crate) struct GroupRegistry {
     groups: RwLock<Vec<Arc<GroupState>>>,
     by_name: Mutex<HashMap<Arc<str>, GroupId>>,
+    /// Shard count handed to each new group's statistics (workers + 1).
+    stat_shards: usize,
 }
 
 impl GroupRegistry {
     /// Create a registry containing only the global group (full accuracy by
     /// default: unannotated programs behave exactly like the original code).
-    pub(crate) fn new() -> Self {
-        let registry = GroupRegistry::default();
+    pub(crate) fn new(stat_shards: usize) -> Self {
+        let registry = GroupRegistry {
+            groups: RwLock::new(Vec::new()),
+            by_name: Mutex::new(HashMap::new()),
+            stat_shards,
+        };
         let name: Arc<str> = Arc::from("<global>");
         registry
             .groups
             .write()
-            .push(Arc::new(GroupState::new(GroupId::GLOBAL, name.clone(), 1.0)));
-        registry.by_name.lock().insert(name, GroupId::GLOBAL);
+            .unwrap()
+            .push(Arc::new(GroupState::new(
+                GroupId::GLOBAL,
+                name.clone(),
+                1.0,
+                stat_shards,
+            )));
+        registry
+            .by_name
+            .lock()
+            .unwrap()
+            .insert(name, GroupId::GLOBAL);
         registry
     }
 
@@ -124,23 +148,28 @@ impl GroupRegistry {
     /// newly created groups; for existing groups it is left untouched unless
     /// `ratio` is `Some`.
     pub(crate) fn get_or_create(&self, name: &str, ratio: Option<f64>) -> Arc<GroupState> {
-        if let Some(&id) = self.by_name.lock().get(name) {
+        if let Some(&id) = self.by_name.lock().unwrap().get(name) {
             let group = self.get(id);
             if let Some(r) = ratio {
                 group.set_ratio(r);
             }
             return group;
         }
-        let mut groups = self.groups.write();
+        let mut groups = self.groups.write().unwrap();
         // Re-check under the write lock to avoid duplicate creation races.
-        if let Some(&id) = self.by_name.lock().get(name) {
+        if let Some(&id) = self.by_name.lock().unwrap().get(name) {
             return groups[id.index()].clone();
         }
         let id = GroupId(groups.len() as u32);
         let name: Arc<str> = Arc::from(name);
-        let state = Arc::new(GroupState::new(id, name.clone(), ratio.unwrap_or(1.0)));
+        let state = Arc::new(GroupState::new(
+            id,
+            name.clone(),
+            ratio.unwrap_or(1.0),
+            self.stat_shards,
+        ));
         groups.push(state.clone());
-        self.by_name.lock().insert(name, id);
+        self.by_name.lock().unwrap().insert(name, id);
         state
     }
 
@@ -150,24 +179,24 @@ impl GroupRegistry {
     ///
     /// Panics if the id was not issued by this registry.
     pub(crate) fn get(&self, id: GroupId) -> Arc<GroupState> {
-        self.groups.read()[id.index()].clone()
+        self.groups.read().unwrap()[id.index()].clone()
     }
 
     /// Look up a group by label.
     pub(crate) fn find(&self, name: &str) -> Option<Arc<GroupState>> {
-        let id = *self.by_name.lock().get(name)?;
+        let id = *self.by_name.lock().unwrap().get(name)?;
         Some(self.get(id))
     }
 
     /// Snapshot of all groups (used by whole-runtime barriers and flushes).
     pub(crate) fn all(&self) -> Vec<Arc<GroupState>> {
-        self.groups.read().clone()
+        self.groups.read().unwrap().clone()
     }
 
     /// Number of groups, including the global one.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn len(&self) -> usize {
-        self.groups.read().len()
+        self.groups.read().unwrap().len()
     }
 }
 
@@ -175,9 +204,13 @@ impl GroupRegistry {
 mod tests {
     use super::*;
 
+    fn registry() -> GroupRegistry {
+        GroupRegistry::new(2)
+    }
+
     #[test]
     fn registry_starts_with_global_group() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         assert_eq!(reg.len(), 1);
         let global = reg.get(GroupId::GLOBAL);
         assert_eq!(global.id, GroupId::GLOBAL);
@@ -186,7 +219,7 @@ mod tests {
 
     #[test]
     fn get_or_create_is_idempotent() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         let a = reg.get_or_create("sobel", Some(0.35));
         let b = reg.get_or_create("sobel", None);
         assert_eq!(a.id, b.id);
@@ -196,7 +229,7 @@ mod tests {
 
     #[test]
     fn get_or_create_updates_ratio_when_given() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         let a = reg.get_or_create("g", Some(0.5));
         assert_eq!(a.ratio(), 0.5);
         reg.get_or_create("g", Some(0.8));
@@ -205,7 +238,7 @@ mod tests {
 
     #[test]
     fn distinct_names_get_distinct_ids() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         let a = reg.get_or_create("a", None);
         let b = reg.get_or_create("b", None);
         assert_ne!(a.id, b.id);
@@ -214,7 +247,7 @@ mod tests {
 
     #[test]
     fn find_by_name() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         reg.get_or_create("dct", Some(0.4));
         assert!(reg.find("dct").is_some());
         assert!(reg.find("missing").is_none());
@@ -222,7 +255,7 @@ mod tests {
 
     #[test]
     fn new_group_defaults_to_fully_accurate() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         let g = reg.get_or_create("plain", None);
         assert_eq!(g.ratio(), 1.0);
     }
@@ -230,13 +263,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "ratio must be in")]
     fn invalid_ratio_panics() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         reg.get_or_create("bad", Some(1.5));
     }
 
     #[test]
     fn set_ratio_roundtrip() {
-        let reg = GroupRegistry::new();
+        let reg = registry();
         let g = reg.get_or_create("g", None);
         g.set_ratio(0.25);
         assert_eq!(g.ratio(), 0.25);

@@ -108,9 +108,12 @@ mod tests {
         let rt = Runtime::builder().workers(2).build();
         let counter = Arc::new(AtomicUsize::new(0));
         let c = counter.clone();
-        task!(rt, body(move || {
-            c.fetch_add(1, Ordering::Relaxed);
-        }));
+        task!(
+            rt,
+            body(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        );
         taskwait!(rt);
         assert_eq!(counter.load(Ordering::Relaxed), 1);
     }
@@ -128,12 +131,17 @@ mod tests {
         for _ in 0..10 {
             let a = accurate.clone();
             let x = approx.clone();
-            task!(rt,
+            task!(
+                rt,
                 significant(0.5),
-                approxfun(move || { x.fetch_add(1, Ordering::Relaxed); }),
+                approxfun(move || {
+                    x.fetch_add(1, Ordering::Relaxed);
+                }),
                 label(&group),
                 out([key]),
-                body(move || { a.fetch_add(1, Ordering::Relaxed); })
+                body(move || {
+                    a.fetch_add(1, Ordering::Relaxed);
+                })
             );
         }
         taskwait!(rt, label(&group), ratio(0.0));
@@ -147,10 +155,14 @@ mod tests {
         let key = DepKey::named("x");
         let done = Arc::new(AtomicUsize::new(0));
         let d = done.clone();
-        task!(rt, out([key]), body(move || {
-            std::thread::sleep(std::time::Duration::from_millis(10));
-            d.store(1, Ordering::SeqCst);
-        }));
+        task!(
+            rt,
+            out([key]),
+            body(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                d.store(1, Ordering::SeqCst);
+            })
+        );
         taskwait!(rt, on(key));
         assert_eq!(done.load(Ordering::SeqCst), 1);
     }
@@ -162,7 +174,8 @@ mod tests {
             .policy(Policy::GtbMaxBuffer)
             .build();
         for i in 0..10u32 {
-            task!(rt,
+            task!(
+                rt,
                 significant(f64::from(i % 9 + 1) / 10.0),
                 approxfun(|| {}),
                 body(|| {})

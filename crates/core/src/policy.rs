@@ -22,10 +22,11 @@ use crate::group::GroupId;
 use crate::significance::{Significance, NUM_LEVELS};
 
 /// Which task-classification policy the runtime applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Policy {
     /// Execute every task accurately; no significance bookkeeping at all.
     /// This is the baseline the paper uses to measure runtime overhead.
+    #[default]
     SignificanceAgnostic,
     /// Global Task Buffering with the given buffer capacity (tasks).
     Gtb {
@@ -73,12 +74,6 @@ impl Policy {
     /// time (LQH).
     pub fn decides_at_execution(&self) -> bool {
         matches!(self, Policy::Lqh)
-    }
-}
-
-impl Default for Policy {
-    fn default() -> Self {
-        Policy::SignificanceAgnostic
     }
 }
 
@@ -139,7 +134,12 @@ impl LqhState {
     /// first tasks in a group tend to be approximated until the histogram
     /// fills in; this is the source of LQH's slight undershoot of the
     /// requested ratio that the paper observes for MC.
-    pub(crate) fn decide(&mut self, group: GroupId, significance: Significance, ratio: f64) -> bool {
+    pub(crate) fn decide(
+        &mut self,
+        group: GroupId,
+        significance: Significance,
+        ratio: f64,
+    ) -> bool {
         // Special values bypass the history entirely (Section 2).
         if significance.is_critical() {
             self.observe(group, significance);
@@ -296,8 +296,13 @@ mod tests {
         // first task may be approximated.
         let mut state = LqhState::new();
         let group = GroupId(3);
-        let decisions: Vec<bool> = (0..100).map(|_| state.decide(group, sig(0.5), 0.6)).collect();
-        assert!(!decisions[0], "first task has no history to justify accuracy");
+        let decisions: Vec<bool> = (0..100)
+            .map(|_| state.decide(group, sig(0.5), 0.6))
+            .collect();
+        assert!(
+            !decisions[0],
+            "first task has no history to justify accuracy"
+        );
         assert!(decisions[1..].iter().all(|&d| d));
         assert_eq!(state.total_observed(group), 100);
     }

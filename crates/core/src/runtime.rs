@@ -4,8 +4,8 @@
 //! Section 3 of the paper:
 //!
 //! * a **master/slave work-sharing scheduler** — the spawning thread is the
-//!   master, worker threads execute tasks from per-worker FIFO queues filled
-//!   round-robin, stealing from each other when empty;
+//!   master, worker threads execute tasks from per-worker lock-free queues
+//!   filled round-robin, stealing from each other when empty;
 //! * **dependence tracking** over the `in()`/`out()` footprints declared at
 //!   spawn time;
 //! * the **execution policies** (significance-agnostic, GTB, GTB Max-Buffer,
@@ -13,6 +13,20 @@
 //!   honouring the per-group accurate-task ratio;
 //! * **barriers**: a global `taskwait`, a per-group `taskwait label(...)`, and
 //!   `taskwait on(<data>)`, each optionally carrying a `ratio(...)` clause.
+//!
+//! # Scheduling hot path
+//!
+//! Executing a ready task takes **zero mutex acquisitions** on the worker
+//! fast path: queue pops are single-CAS ([`crate::deque`]), the
+//! accurate/approximate decision and the body handoff are a single atomic
+//! byte plus take-once cells ([`crate::task`]), statistics are per-worker
+//! shards ([`crate::stats`]), and completion signalling is an atomic
+//! decrement that only touches a condvar when a barrier is actually waiting
+//! ([`crate::sync::EventCount`]). Idle workers park on a per-worker
+//! [`crate::sync::Parker`] and are woken *targeted* — the seed design's
+//! 1 ms idle polling loop and per-completion `notify_all` broadcast are
+//! gone, and the queue-empty/wakeup race they papered over is closed by the
+//! SeqCst sleep-flag protocol documented in [`crate::sync`].
 //!
 //! # Example
 //!
@@ -44,26 +58,33 @@
 //! assert!(stats.accurate >= 50);
 //! ```
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-use parking_lot::{Condvar, Mutex};
+use std::time::Instant;
 
 use crate::deps::{DepKey, DependenceTracker};
+use crate::deque::QueueSet;
 use crate::group::{GroupId, GroupRegistry, GroupState, TaskGroup};
 use crate::policy::{gtb_classify, LqhState, Policy};
-use crate::queue::QueueSet;
 use crate::significance::Significance;
 use crate::stats::{GroupStatsSnapshot, RuntimeStats};
+use crate::sync::{EventCount, Parker};
 use crate::task::{ExecutionMode, Task, TaskBody, TaskId};
 
-/// How long an idle worker sleeps between checks for new work or shutdown.
-const IDLE_WAIT: Duration = Duration::from_millis(1);
+/// Issues a unique id per runtime so the worker thread-local below can tell
+/// which runtime (if any) the current thread belongs to.
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(runtime id, worker index)` of the current thread, if it is a worker.
+    /// Id `0` is never issued, so the default means "not a worker".
+    static CURRENT_WORKER: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
 
 /// Builder for [`Runtime`] instances.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RuntimeBuilder {
     workers: Option<usize>,
     policy: Policy,
@@ -104,45 +125,69 @@ impl RuntimeBuilder {
     }
 }
 
-impl Default for RuntimeBuilder {
-    fn default() -> Self {
-        RuntimeBuilder {
-            workers: None,
-            policy: Policy::default(),
-            pin_hint: false,
-        }
-    }
-}
-
 /// Shared state between the master, the workers and the public handle.
 struct RuntimeInner {
+    id: u64,
     policy: Policy,
     queues: QueueSet,
     groups: GroupRegistry,
+    /// The implicit global group, cached so unlabeled spawns skip the
+    /// registry lock.
+    global_group: Arc<GroupState>,
     tracker: Mutex<DependenceTracker>,
     stats: RuntimeStats,
     next_task_id: AtomicU64,
-    /// Tasks spawned and not yet completed, across all groups.
+    /// Tasks spawned and not yet completed, across all groups. A single
+    /// counter (not a sum over groups): `wait_all` must observe spawn and
+    /// completion atomically even when a task body spawns children into
+    /// other groups mid-barrier.
     outstanding: AtomicUsize,
     /// Task bodies that panicked (caught and counted, never propagated to the
     /// worker thread).
     panicked: AtomicUsize,
     shutdown: AtomicBool,
-    work_mutex: Mutex<()>,
-    work_available: Condvar,
-    completion_mutex: Mutex<()>,
-    completion: Condvar,
+    /// One parker per worker for targeted wakeups.
+    parkers: Box<[Parker]>,
+    /// Number of workers currently in (or entering) a park.
+    sleepers: AtomicUsize,
+    /// Barrier for `wait_all`: notified when `outstanding` hits zero.
+    idle_barrier: EventCount,
+    /// Barrier for `wait_on`: notified whenever a writing task completes.
+    writes_barrier: EventCount,
 }
 
 impl RuntimeInner {
+    /// Worker index of the calling thread, if it belongs to this runtime.
+    fn local_worker(&self) -> Option<usize> {
+        let (id, index) = CURRENT_WORKER.get();
+        (id == self.id).then_some(index)
+    }
+
     /// Try to move a task into a worker queue. A task is enqueued exactly
     /// once, as soon as it is both *released* (by the master / a GTB flush)
     /// and *ready* (all predecessors completed).
     fn try_enqueue(&self, task: &Arc<Task>) {
         if task.is_released() && task.is_ready() && task.claim_enqueue() {
-            self.queues.push_round_robin(task.clone());
-            let _guard = self.work_mutex.lock();
-            self.work_available.notify_all();
+            let target = self.queues.push(task.clone(), self.local_worker());
+            self.wake_for_push(target);
+        }
+    }
+
+    /// Wake the worker whose queue just received work; if it is already
+    /// running, wake one sleeper instead so the task is stealable without
+    /// delay. Both checks are single atomic loads when everyone is busy —
+    /// no broadcast, no mutex.
+    fn wake_for_push(&self, target: usize) {
+        if self.parkers[target].unpark_if_sleeping() {
+            return;
+        }
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        for (index, parker) in self.parkers.iter().enumerate() {
+            if index != target && parker.unpark_if_sleeping() {
+                return;
+            }
         }
     }
 
@@ -165,7 +210,7 @@ impl RuntimeInner {
 
     /// Flush the pending GTB buffer of one group.
     fn flush_group(&self, group: &GroupState) {
-        let tasks = std::mem::take(&mut *group.buffer.lock());
+        let tasks = std::mem::take(&mut *group.buffer.lock().unwrap());
         self.flush_tasks(group, tasks);
     }
 
@@ -178,13 +223,14 @@ impl RuntimeInner {
 
     /// Execute a task on worker `worker`: make the accuracy decision if it is
     /// still open, run the chosen body, record statistics, then resolve
-    /// dependences and barriers.
-    fn execute(&self, task: Arc<Task>, lqh: &mut LqhState) {
-        let group = self.groups.get(task.group);
+    /// dependences and barriers. Lock-free on every step.
+    fn execute(&self, task: Arc<Task>, worker: usize, lqh: &mut LqhState) {
         let accurate = match task.decision() {
             Some(decision) => decision,
             None => match self.policy {
-                Policy::Lqh => lqh.decide(task.group, task.significance, group.ratio()),
+                Policy::Lqh => {
+                    lqh.decide(task.group_id(), task.significance, task.group_state.ratio())
+                }
                 // The significance-agnostic runtime and any GTB task that
                 // somehow reaches a worker undecided run accurately: the
                 // conservative choice never degrades output quality.
@@ -193,15 +239,16 @@ impl RuntimeInner {
         };
 
         let start = Instant::now();
+        // SAFETY (all `take_*` calls below): this worker won `claim_enqueue`
+        // and dequeued the task, making it the unique executor; nothing else
+        // touches the body cells after spawn.
         let mode = if accurate {
-            let body = task.accurate.lock().take();
-            if let Some(body) = body {
+            if let Some(body) = unsafe { task.take_accurate() } {
                 self.run_body(body);
             }
             ExecutionMode::Accurate
         } else {
-            let body = task.approximate.lock().take();
-            match body {
+            match unsafe { task.take_approximate() } {
                 Some(body) => {
                     self.run_body(body);
                     ExecutionMode::Approximate
@@ -215,12 +262,16 @@ impl RuntimeInner {
         // signalled, so resources captured by it (for example
         // `SharedGrid` region writers shared between the accurate and the
         // approximate closure) are released by the time a barrier returns.
-        drop(task.accurate.lock().take());
-        drop(task.approximate.lock().take());
+        unsafe {
+            drop(task.take_accurate());
+            drop(task.take_approximate());
+        }
 
-        self.stats.record_execution(mode, busy);
-        group.stats.record(task.significance.level(), mode);
-        self.complete(&task, &group);
+        self.stats.record_execution(worker, mode, busy);
+        task.group_state
+            .stats
+            .record(worker, task.significance.level(), mode);
+        self.complete(&task);
     }
 
     /// Run a task body, catching panics so one failing task cannot take a
@@ -232,56 +283,96 @@ impl RuntimeInner {
     }
 
     /// Post-execution bookkeeping: wake successors, update dependence and
-    /// group counters, and signal barriers.
-    fn complete(&self, task: &Arc<Task>, group: &GroupState) {
-        let successors = {
-            let mut successors = task.successors.lock();
-            task.completed.store(true, Ordering::Release);
-            std::mem::take(&mut *successors)
-        };
-        for successor in successors {
-            if successor.pending_deps.fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.try_enqueue(&successor);
+    /// group counters, and signal barriers. The barrier notifications cost
+    /// one atomic load each unless a `taskwait` is actually blocked.
+    fn complete(&self, task: &Arc<Task>) {
+        // Footprint-free tasks can never have successors (only tasks that
+        // declared keys enter the dependence tracker), so the seal and the
+        // tracker are skipped entirely.
+        if task.footprint {
+            let successors = task.successors.seal();
+            task.mark_completed();
+            for successor in successors {
+                // SeqCst: pairs with `Task::release` + `is_ready` on the
+                // GTB-flush side (see Task::release).
+                if successor.pending_deps.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    self.try_enqueue(&successor);
+                }
             }
+            if !task.out_keys.is_empty() {
+                self.tracker.lock().unwrap().complete_writes(&task.out_keys);
+                self.writes_barrier.notify();
+            }
+        } else {
+            task.mark_completed();
         }
-        if !task.out_keys.is_empty() {
-            self.tracker.lock().complete_writes(&task.out_keys);
+        let group = &task.group_state;
+        if group.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            group.barrier.notify();
         }
-        group.outstanding.fetch_sub(1, Ordering::AcqRel);
-        self.outstanding.fetch_sub(1, Ordering::AcqRel);
-        let _guard = self.completion_mutex.lock();
-        self.completion.notify_all();
-    }
-
-    /// Block until `predicate` becomes true, re-checking on every task
-    /// completion.
-    fn wait_until(&self, predicate: impl Fn() -> bool) {
-        let mut guard = self.completion_mutex.lock();
-        while !predicate() {
-            self.completion
-                .wait_for(&mut guard, Duration::from_millis(5));
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.idle_barrier.notify();
         }
     }
 
     fn worker_loop(self: &Arc<Self>, index: usize) {
+        /// Idle rounds spent spinning (multicore: let an in-flight push land)
+        /// before yielding.
+        const SPIN_ROUNDS: u32 = 4;
+        /// Further idle rounds spent yielding (giving producers the core)
+        /// before actually parking. Keeping the worker officially awake
+        /// through short work gaps means producers skip the futex wake —
+        /// without this, fine-grained streams degenerate into one
+        /// park/unpark round trip per task.
+        const YIELD_ROUNDS: u32 = 20;
+
+        self.parkers[index].register();
+        CURRENT_WORKER.set((self.id, index));
         let mut lqh = LqhState::new();
+        let mut idle_rounds = 0u32;
         loop {
-            if let Some(task) = self.queues.queue(index).pop_oldest() {
-                self.execute(task, &mut lqh);
+            if let Some(task) = self.queues.pop_local(index) {
+                idle_rounds = 0;
+                self.execute(task, index, &mut lqh);
                 continue;
             }
             if let Some(task) = self.queues.steal(index) {
-                self.stats.record_steal();
-                self.execute(task, &mut lqh);
+                idle_rounds = 0;
+                self.stats.record_steal(index);
+                self.execute(task, index, &mut lqh);
                 continue;
             }
-            if self.shutdown.load(Ordering::Acquire) {
+            if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let mut guard = self.work_mutex.lock();
-            if self.queues.total_queued() == 0 && !self.shutdown.load(Ordering::Acquire) {
-                self.work_available.wait_for(&mut guard, IDLE_WAIT);
+            if idle_rounds < SPIN_ROUNDS {
+                idle_rounds += 1;
+                for _ in 0..1 << (4 + idle_rounds) {
+                    std::hint::spin_loop();
+                }
+                continue;
             }
+            if idle_rounds < SPIN_ROUNDS + YIELD_ROUNDS {
+                idle_rounds += 1;
+                std::thread::yield_now();
+                continue;
+            }
+            // Sleep protocol (no timed polling): announce intent, re-check
+            // every queue, then park. A producer pushes before it loads the
+            // sleep flag, so either the re-check sees the task or the
+            // producer sees the flag and unparks — never neither.
+            let parker = &self.parkers[index];
+            parker.prepare_park();
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.queues.any_work() || self.shutdown.load(Ordering::SeqCst) {
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                parker.cancel();
+                continue;
+            }
+            std::thread::park();
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            parker.cancel();
+            idle_rounds = 0;
         }
     }
 }
@@ -307,20 +398,24 @@ impl Runtime {
     }
 
     fn start(workers: usize, policy: Policy) -> Runtime {
+        let groups = GroupRegistry::new(workers + 1);
+        let global_group = groups.get(GroupId::GLOBAL);
         let inner = Arc::new(RuntimeInner {
+            id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
             policy,
             queues: QueueSet::new(workers),
-            groups: GroupRegistry::new(),
+            groups,
+            global_group,
             tracker: Mutex::new(DependenceTracker::new()),
-            stats: RuntimeStats::default(),
+            stats: RuntimeStats::new(workers),
             next_task_id: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
             panicked: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            work_mutex: Mutex::new(()),
-            work_available: Condvar::new(),
-            completion_mutex: Mutex::new(()),
-            completion: Condvar::new(),
+            parkers: (0..workers).map(|_| Parker::default()).collect(),
+            sleepers: AtomicUsize::new(0),
+            idle_barrier: EventCount::default(),
+            writes_barrier: EventCount::default(),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -400,15 +495,16 @@ impl Runtime {
     /// wait until every spawned task has completed.
     pub fn wait_all(&self) {
         self.inner.flush_all_groups();
-        let inner = self.inner.clone();
-        self.inner
-            .wait_until(move || inner.outstanding.load(Ordering::Acquire) == 0);
+        let inner = &self.inner;
+        inner
+            .idle_barrier
+            .wait(|| inner.outstanding.load(Ordering::SeqCst) == 0);
     }
 
     /// Global barrier with a `ratio(...)` clause: the ratio is applied to the
     /// implicit global group before flushing.
     pub fn wait_all_with_ratio(&self, ratio: f64) {
-        self.inner.groups.get(GroupId::GLOBAL).set_ratio(ratio);
+        self.inner.global_group.set_ratio(ratio);
         self.wait_all();
     }
 
@@ -417,11 +513,9 @@ impl Runtime {
     pub fn wait_group(&self, group: &TaskGroup) {
         let state = self.inner.groups.get(group.id);
         self.inner.flush_group(&state);
-        let inner = self.inner.clone();
-        let id = group.id;
-        self.inner.wait_until(move || {
-            inner.groups.get(id).outstanding.load(Ordering::Acquire) == 0
-        });
+        state
+            .barrier
+            .wait(|| state.outstanding.load(Ordering::SeqCst) == 0);
     }
 
     /// Group barrier with a `ratio(...)` clause
@@ -433,11 +527,9 @@ impl Runtime {
         let state = self.inner.groups.get(group.id);
         state.set_ratio(ratio);
         self.inner.flush_group(&state);
-        let inner = self.inner.clone();
-        let id = group.id;
-        self.inner.wait_until(move || {
-            inner.groups.get(id).outstanding.load(Ordering::Acquire) == 0
-        });
+        state
+            .barrier
+            .wait(|| state.outstanding.load(Ordering::SeqCst) == 0);
     }
 
     /// Data barrier (`#pragma omp taskwait on(...)`): wait until every task
@@ -445,9 +537,10 @@ impl Runtime {
     /// buffered tasks could be writers of `key`.
     pub fn wait_on(&self, key: DepKey) {
         self.inner.flush_all_groups();
-        let inner = self.inner.clone();
-        self.inner
-            .wait_until(move || inner.tracker.lock().outstanding_writes(key) == 0);
+        let inner = &self.inner;
+        inner
+            .writes_barrier
+            .wait(|| inner.tracker.lock().unwrap().outstanding_writes(key) == 0);
     }
 
     /// Execution statistics of one group (Table 2 inputs).
@@ -462,12 +555,7 @@ impl Runtime {
             .groups
             .all()
             .iter()
-            .map(|state| {
-                (
-                    state.name.to_string(),
-                    state.stats.snapshot(state.ratio()),
-                )
-            })
+            .map(|state| (state.name.to_string(), state.stats.snapshot(state.ratio())))
             .collect()
     }
 }
@@ -476,10 +564,9 @@ impl Drop for Runtime {
     fn drop(&mut self) {
         // Make sure nothing is lost in GTB buffers, then stop the workers.
         self.wait_all();
-        self.inner.shutdown.store(true, Ordering::Release);
-        {
-            let _guard = self.inner.work_mutex.lock();
-            self.inner.work_available.notify_all();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for parker in self.inner.parkers.iter() {
+            parker.unpark_always();
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -492,7 +579,10 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("policy", &self.inner.policy)
             .field("workers", &self.workers.len())
-            .field("outstanding", &self.inner.outstanding.load(Ordering::Relaxed))
+            .field(
+                "outstanding",
+                &self.inner.outstanding.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -510,7 +600,7 @@ pub struct TaskBuilder<'rt> {
     out_keys: Vec<DepKey>,
 }
 
-impl<'rt> TaskBuilder<'rt> {
+impl TaskBuilder<'_> {
     /// `significant(expr)` — the task's significance in `[0.0, 1.0]`.
     pub fn significance(mut self, significance: impl Into<Significance>) -> Self {
         self.significance = significance.into();
@@ -557,45 +647,72 @@ impl<'rt> TaskBuilder<'rt> {
     pub fn spawn(self) -> TaskId {
         let inner = &self.runtime.inner;
         let group_state = match self.group {
+            // Unlabeled tasks take the cached global group: no registry lock
+            // on the common spawn path.
+            None => inner.global_group.clone(),
+            Some(id) if id == GroupId::GLOBAL => inner.global_group.clone(),
             Some(id) => inner.groups.get(id),
-            None => inner.groups.get(GroupId::GLOBAL),
         };
         let id = TaskId(inner.next_task_id.fetch_add(1, Ordering::Relaxed));
-        let task = Arc::new(Task::new(
+        let footprint = !(self.in_keys.is_empty() && self.out_keys.is_empty());
+        let mut task = Arc::new(Task::new(
             id,
-            group_state.id,
+            group_state.clone(),
             self.significance,
             self.accurate,
             self.approximate,
             self.out_keys.clone(),
+            footprint,
         ));
-        inner.outstanding.fetch_add(1, Ordering::AcqRel);
-        group_state.outstanding.fetch_add(1, Ordering::AcqRel);
+
+        // Fast path: footprint-free task under a non-buffering policy goes
+        // straight to a queue. Its released/enqueued (and, for the agnostic
+        // policy, decided) state is primed through `&mut` before the task is
+        // ever shared — zero atomic ops, no claim race to arbitrate because
+        // `spawn` is the only possible enqueue site.
+        if !footprint && !inner.policy.is_buffering() {
+            let accurate = matches!(inner.policy, Policy::SignificanceAgnostic);
+            Arc::get_mut(&mut task)
+                .expect("task not yet shared")
+                .prime_spawn_enqueued(accurate);
+            inner.outstanding.fetch_add(1, Ordering::SeqCst);
+            group_state.outstanding.fetch_add(1, Ordering::SeqCst);
+            inner.stats.record_spawn();
+            let target = inner.queues.push(task, inner.local_worker());
+            inner.wake_for_push(target);
+            return id;
+        }
+
+        inner.outstanding.fetch_add(1, Ordering::SeqCst);
+        group_state.outstanding.fetch_add(1, Ordering::SeqCst);
         inner.stats.record_spawn();
 
         // Hold one phantom dependence while wiring real ones, so the task
         // cannot be enqueued halfway through registration.
         task.pending_deps.store(1, Ordering::Release);
-        let predecessors = inner
-            .tracker
-            .lock()
-            .register(&task, &self.in_keys, &self.out_keys);
-        let mut wired = 0usize;
-        for predecessor in predecessors {
-            let mut successors = predecessor.successors.lock();
-            if !predecessor.completed.load(Ordering::Acquire) {
-                successors.push(task.clone());
-                wired += 1;
+        if footprint {
+            let predecessors =
+                inner
+                    .tracker
+                    .lock()
+                    .unwrap()
+                    .register(&task, &self.in_keys, &self.out_keys);
+            let mut wired = 0usize;
+            for predecessor in predecessors {
+                // `try_push` fails iff the predecessor already completed
+                // (its successor list is sealed): no dependence to count.
+                if predecessor.successors.try_push(task.clone()) {
+                    wired += 1;
+                }
             }
-        }
-        if wired > 0 {
-            task.pending_deps.fetch_add(wired, Ordering::AcqRel);
+            if wired > 0 {
+                task.pending_deps.fetch_add(wired, Ordering::AcqRel);
+            }
         }
 
         match inner.policy {
             Policy::SignificanceAgnostic => {
-                task.decide(true);
-                task.release();
+                task.release_accurate();
             }
             Policy::Lqh => {
                 task.release();
@@ -605,7 +722,7 @@ impl<'rt> TaskBuilder<'rt> {
                     .policy
                     .buffer_capacity()
                     .expect("buffering policy has a capacity");
-                let mut buffer = group_state.buffer.lock();
+                let mut buffer = group_state.buffer.lock().unwrap();
                 buffer.push(task.clone());
                 if buffer.len() >= capacity {
                     let tasks = std::mem::take(&mut *buffer);
@@ -627,6 +744,7 @@ impl<'rt> TaskBuilder<'rt> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     fn count_runtime(policy: Policy) -> Runtime {
         Runtime::builder().workers(4).policy(policy).build()
@@ -738,7 +856,11 @@ mod tests {
         rt.wait_group(&group);
         let stats = rt.group_stats(&group);
         assert_eq!(stats.dropped, 10);
-        assert_eq!(ran.load(Ordering::Relaxed), 0, "dropped bodies must not run");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            0,
+            "dropped bodies must not run"
+        );
     }
 
     #[test]
@@ -801,14 +923,14 @@ mod tests {
         for i in 0..16usize {
             let log = log.clone();
             rt.task(move || {
-                log.lock().push(i);
+                log.lock().unwrap().push(i);
             })
             .reads([key])
             .writes([key])
             .spawn();
         }
         rt.wait_all();
-        let log = log.lock().clone();
+        let log = log.lock().unwrap().clone();
         assert_eq!(log, (0..16).collect::<Vec<_>>());
     }
 
@@ -967,5 +1089,29 @@ mod tests {
         rt.wait_group(&group);
         assert_eq!(counter.load(Ordering::Relaxed), 2000);
         assert_eq!(rt.group_stats(&group).total(), 2000);
+    }
+
+    #[test]
+    fn two_runtimes_do_not_cross_wire_worker_locals() {
+        // A task body of one runtime spawning into another runtime must go
+        // through the external (inbox) path, not the first runtime's deques.
+        let a = Arc::new(count_runtime(Policy::SignificanceAgnostic));
+        let b = Arc::new(count_runtime(Policy::SignificanceAgnostic));
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let b = b.clone();
+            let ran = ran.clone();
+            a.task(move || {
+                let r = ran.clone();
+                b.task(move || {
+                    r.fetch_add(1, Ordering::Relaxed);
+                })
+                .spawn();
+            })
+            .spawn();
+        }
+        a.wait_all();
+        b.wait_all();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 }

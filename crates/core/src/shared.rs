@@ -22,7 +22,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 struct GridInner<T> {
     data: UnsafeCell<Vec<T>>,
@@ -134,7 +134,14 @@ impl<T: Clone + Send + 'static> SharedGrid<T> {
         assert!(start < end, "region must be non-empty");
         assert!(end <= self.len(), "region {start}..{end} out of bounds");
         {
-            let mut outstanding = self.inner.outstanding.lock();
+            // The overlap assert below panics while holding the lock; the
+            // list is not modified before the panic, so recovering the
+            // poisoned mutex (here and in Drop) is sound.
+            let mut outstanding = self
+                .inner
+                .outstanding
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for &(s, e) in outstanding.iter() {
                 assert!(
                     end <= s || start >= e,
@@ -246,7 +253,11 @@ impl<T> RegionWriter<T> {
 
 impl<T> Drop for RegionWriter<T> {
     fn drop(&mut self) {
-        let mut outstanding = self.grid.outstanding.lock();
+        let mut outstanding = self
+            .grid
+            .outstanding
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) = outstanding
             .iter()
             .position(|&(s, e)| s == self.start && e == self.end)

@@ -89,7 +89,9 @@ impl PartialOrd for Significance {
 impl Ord for Significance {
     fn cmp(&self, other: &Self) -> Ordering {
         // Values are guaranteed finite, so total order is well-defined.
-        self.0.partial_cmp(&other.0).expect("significance is finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("significance is finite")
     }
 }
 
@@ -193,7 +195,7 @@ mod tests {
 
     #[test]
     fn ordering_is_by_value() {
-        let mut v = vec![
+        let mut v = [
             Significance::new(0.9),
             Significance::new(0.1),
             Significance::new(0.5),

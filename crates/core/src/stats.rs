@@ -10,46 +10,99 @@
 //!   strictly less significant task of the same group ran accurately) and the
 //!   absolute deviation of the achieved accurate-task ratio from the
 //!   requested `R_g`.
+//!
+//! Both sets of counters sit on the execution hot path, so they are
+//! **sharded per worker** (one cache line each, folded on snapshot). The
+//! seed pushed every execution onto a `Mutex<Vec<(level, mode)>>` log; the
+//! per-(level × mode) counter matrix kept here carries exactly the same
+//! information for the inversion analysis without any lock or allocation.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-
-use crate::significance::SignificanceLevel;
+use crate::significance::{SignificanceLevel, NUM_LEVELS};
+use crate::sync::CachePadded;
 use crate::task::ExecutionMode;
 
-/// Per-group execution log and counters.
-#[derive(Debug, Default)]
+const MODES: usize = 3;
+
+fn mode_index(mode: ExecutionMode) -> usize {
+    match mode {
+        ExecutionMode::Accurate => 0,
+        ExecutionMode::Approximate => 1,
+        ExecutionMode::Dropped => 2,
+    }
+}
+
+fn mode_from_index(index: usize) -> ExecutionMode {
+    match index {
+        0 => ExecutionMode::Accurate,
+        1 => ExecutionMode::Approximate,
+        _ => ExecutionMode::Dropped,
+    }
+}
+
+/// One worker's (level × mode) execution counters for a group.
+struct GroupShard {
+    counts: Box<[AtomicU64]>,
+}
+
+impl GroupShard {
+    fn new() -> Self {
+        GroupShard {
+            counts: (0..NUM_LEVELS * MODES).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Per-group execution counters, sharded per worker.
 pub(crate) struct GroupStats {
-    accurate: AtomicUsize,
-    approximate: AtomicUsize,
-    dropped: AtomicUsize,
-    /// Log of (significance level, mode) per executed task, used for the
-    /// inversion analysis. Tasks are coarse-grained, so the lock is cold.
-    log: Mutex<Vec<(SignificanceLevel, ExecutionMode)>>,
+    shards: Box<[CachePadded<GroupShard>]>,
+}
+
+impl std::fmt::Debug for GroupStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupStats")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
 }
 
 impl GroupStats {
-    /// Record the completion of one task.
-    pub(crate) fn record(&self, level: SignificanceLevel, mode: ExecutionMode) {
-        match mode {
-            ExecutionMode::Accurate => self.accurate.fetch_add(1, Ordering::Relaxed),
-            ExecutionMode::Approximate => self.approximate.fetch_add(1, Ordering::Relaxed),
-            ExecutionMode::Dropped => self.dropped.fetch_add(1, Ordering::Relaxed),
-        };
-        self.log.lock().push((level, mode));
+    /// `shards` should be the runtime's worker count plus one spare for
+    /// non-worker threads.
+    pub(crate) fn new(shards: usize) -> Self {
+        GroupStats {
+            shards: (0..shards.max(1))
+                .map(|_| CachePadded::new(GroupShard::new()))
+                .collect(),
+        }
     }
 
-    /// Produce an immutable snapshot for reporting.
+    /// Record the completion of one task on worker `worker`.
+    pub(crate) fn record(&self, worker: usize, level: SignificanceLevel, mode: ExecutionMode) {
+        let shard = &self.shards[worker.min(self.shards.len() - 1)];
+        shard.counts[level.index() * MODES + mode_index(mode)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Produce an immutable snapshot for reporting. O(levels), independent
+    /// of the number of executed tasks: everything the snapshot reports is
+    /// computed from the folded counter matrix, and the per-task log is only
+    /// materialised if [`GroupStatsSnapshot::log`] is actually called.
     pub(crate) fn snapshot(&self, requested_ratio: f64) -> GroupStatsSnapshot {
-        let log = self.log.lock().clone();
-        GroupStatsSnapshot::from_log(requested_ratio, log)
+        let mut folded = vec![0u64; NUM_LEVELS * MODES];
+        for shard in self.shards.iter() {
+            for (total, count) in folded.iter_mut().zip(shard.counts.iter()) {
+                *total += count.load(Ordering::Relaxed);
+            }
+        }
+        GroupStatsSnapshot::from_histogram(requested_ratio, folded)
     }
 }
 
 /// Immutable summary of one task group's execution, as used for Table 2.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct GroupStatsSnapshot {
     /// The accurate-task ratio requested by the programmer (`R_g`).
     pub requested_ratio: f64,
@@ -64,24 +117,47 @@ pub struct GroupStatsSnapshot {
     /// non-accurately while a strictly less significant task of the same
     /// group ran accurately.
     pub inverted: usize,
-    log: Vec<(SignificanceLevel, ExecutionMode)>,
+    /// (level × mode) counts; `NUM_LEVELS * MODES` entries.
+    hist: Vec<u64>,
+    /// Per-task expansion of `hist`, materialised on first `log()` call.
+    log: OnceLock<Vec<(SignificanceLevel, ExecutionMode)>>,
+}
+
+impl PartialEq for GroupStatsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // `log` is a cache of `hist`, not state.
+        self.requested_ratio == other.requested_ratio && self.hist == other.hist
+    }
 }
 
 impl GroupStatsSnapshot {
+    /// Snapshot from a per-task log (test/compat constructor); the log is
+    /// kept verbatim so `log()` preserves its ordering.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn from_log(
         requested_ratio: f64,
         log: Vec<(SignificanceLevel, ExecutionMode)>,
     ) -> Self {
-        let mut accurate = 0;
-        let mut approximate = 0;
-        let mut dropped = 0;
-        for (_, mode) in &log {
-            match mode {
-                ExecutionMode::Accurate => accurate += 1,
-                ExecutionMode::Approximate => approximate += 1,
-                ExecutionMode::Dropped => dropped += 1,
-            }
+        let mut hist = vec![0u64; NUM_LEVELS * MODES];
+        for (level, mode) in &log {
+            hist[level.index() * MODES + mode_index(*mode)] += 1;
         }
+        let snapshot = GroupStatsSnapshot::from_histogram(requested_ratio, hist);
+        let _ = snapshot.log.set(log);
+        snapshot
+    }
+
+    /// Snapshot from a folded (level × mode) counter matrix — O(levels).
+    pub(crate) fn from_histogram(requested_ratio: f64, hist: Vec<u64>) -> Self {
+        debug_assert_eq!(hist.len(), NUM_LEVELS * MODES);
+        let count_mode = |mode: usize| -> usize {
+            (0..NUM_LEVELS)
+                .map(|l| hist[l * MODES + mode] as usize)
+                .sum()
+        };
+        let accurate = count_mode(mode_index(ExecutionMode::Accurate));
+        let approximate = count_mode(mode_index(ExecutionMode::Approximate));
+        let dropped = count_mode(mode_index(ExecutionMode::Dropped));
         // "Inverted" tasks: the minimum number of decisions that would have
         // to flip so that no task executed approximately while a *strictly*
         // less significant task of the same group executed accurately
@@ -89,33 +165,30 @@ impl GroupStatsSnapshot {
         // significance thresholds: for threshold τ the violations are the
         // accurate tasks strictly below τ plus the non-accurate tasks
         // strictly above τ; the reported count is the minimum over τ.
-        let mut accurate_hist = [0usize; crate::significance::NUM_LEVELS];
-        let mut other_hist = [0usize; crate::significance::NUM_LEVELS];
-        for (level, mode) in &log {
-            if *mode == ExecutionMode::Accurate {
-                accurate_hist[level.index()] += 1;
-            } else {
-                other_hist[level.index()] += 1;
-            }
-        }
-        let total_other: usize = other_hist.iter().sum();
+        let total_other = approximate + dropped;
         let mut inverted = usize::MAX;
         let mut accurate_below = 0usize;
         let mut other_at_or_below = 0usize;
-        for level in 0..crate::significance::NUM_LEVELS {
-            other_at_or_below += other_hist[level];
+        for level in 0..NUM_LEVELS {
+            other_at_or_below +=
+                hist[level * MODES + 1] as usize + hist[level * MODES + 2] as usize;
             let cost = accurate_below + (total_other - other_at_or_below);
             inverted = inverted.min(cost);
-            accurate_below += accurate_hist[level];
+            accurate_below += hist[level * MODES] as usize;
         }
-        let inverted = if log.is_empty() { 0 } else { inverted };
+        let inverted = if accurate + total_other == 0 {
+            0
+        } else {
+            inverted
+        };
         GroupStatsSnapshot {
             requested_ratio,
             accurate,
             approximate,
             dropped,
             inverted,
-            log,
+            hist,
+            log: OnceLock::new(),
         }
     }
 
@@ -153,18 +226,30 @@ impl GroupStatsSnapshot {
         }
     }
 
-    /// Raw execution log: one `(significance level, mode)` entry per task.
+    /// Execution log: one `(significance level, mode)` entry per task,
+    /// ordered by level (per-task ordering is not preserved by the sharded
+    /// counters). Materialised lazily on first call — O(total tasks).
     pub fn log(&self) -> &[(SignificanceLevel, ExecutionMode)] {
-        &self.log
+        self.log.get_or_init(|| {
+            let mut log = Vec::with_capacity(self.total());
+            for level in 0..NUM_LEVELS {
+                for mode in 0..MODES {
+                    let count = self.hist[level * MODES + mode];
+                    let entry = (SignificanceLevel::new(level as u8), mode_from_index(mode));
+                    log.extend(std::iter::repeat_n(entry, count as usize));
+                }
+            }
+            log
+        })
     }
 }
 
-/// Whole-runtime counters: totals across all groups plus scheduler-internal
-/// event counts used to evaluate policy overhead (Figure 4 discussion).
-#[derive(Debug, Default)]
-pub struct RuntimeStats {
+/// One worker's shard of the whole-runtime counters. `completed` is derived
+/// (accurate + approximate + dropped), not stored: one fewer atomic op per
+/// executed task.
+#[derive(Default)]
+struct StatShard {
     spawned: AtomicUsize,
-    completed: AtomicUsize,
     accurate: AtomicUsize,
     approximate: AtomicUsize,
     dropped: AtomicUsize,
@@ -173,68 +258,126 @@ pub struct RuntimeStats {
     busy_nanos: AtomicU64,
 }
 
+/// Whole-runtime counters: totals across all groups plus scheduler-internal
+/// event counts used to evaluate policy overhead (Figure 4 discussion).
+/// Sharded per worker; readers fold on demand.
+pub struct RuntimeStats {
+    shards: Box<[CachePadded<StatShard>]>,
+}
+
+impl std::fmt::Debug for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeStats")
+            .field("spawned", &self.spawned())
+            .field("completed", &self.completed())
+            .field("steals", &self.steals())
+            .finish()
+    }
+}
+
+impl Default for RuntimeStats {
+    fn default() -> Self {
+        RuntimeStats::new(1)
+    }
+}
+
 impl RuntimeStats {
+    /// Create counters for `workers` workers (plus one shard for non-worker
+    /// threads such as the spawning master).
+    pub(crate) fn new(workers: usize) -> Self {
+        RuntimeStats {
+            shards: (0..workers + 1)
+                .map(|_| CachePadded::new(StatShard::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, worker: usize) -> &StatShard {
+        &self.shards[worker.min(self.shards.len() - 1)]
+    }
+
+    /// The shard used by threads that are not workers of this runtime.
+    fn external(&self) -> &StatShard {
+        &self.shards[self.shards.len() - 1]
+    }
+
     pub(crate) fn record_spawn(&self) {
-        self.spawned.fetch_add(1, Ordering::Relaxed);
+        self.external().spawned.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_execution(&self, mode: ExecutionMode, busy: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_execution(&self, worker: usize, mode: ExecutionMode, busy: Duration) {
+        let shard = self.shard(worker);
         match mode {
-            ExecutionMode::Accurate => self.accurate.fetch_add(1, Ordering::Relaxed),
-            ExecutionMode::Approximate => self.approximate.fetch_add(1, Ordering::Relaxed),
-            ExecutionMode::Dropped => self.dropped.fetch_add(1, Ordering::Relaxed),
+            ExecutionMode::Accurate => shard.accurate.fetch_add(1, Ordering::Relaxed),
+            ExecutionMode::Approximate => shard.approximate.fetch_add(1, Ordering::Relaxed),
+            ExecutionMode::Dropped => shard.dropped.fetch_add(1, Ordering::Relaxed),
         };
-        self.busy_nanos
-            .fetch_add(busy.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        shard.busy_nanos.fetch_add(
+            busy.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     }
 
-    pub(crate) fn record_steal(&self) {
-        self.steals.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_steal(&self, worker: usize) {
+        self.shard(worker).steals.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_flush(&self) {
-        self.buffer_flushes.fetch_add(1, Ordering::Relaxed);
+        self.external()
+            .buffer_flushes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn fold(&self, field: impl Fn(&StatShard) -> usize) -> usize {
+        self.shards.iter().map(|shard| field(shard)).sum()
     }
 
     /// Number of tasks spawned so far.
     pub fn spawned(&self) -> usize {
-        self.spawned.load(Ordering::Relaxed)
+        self.fold(|s| s.spawned.load(Ordering::Relaxed))
     }
 
     /// Number of tasks that have finished (in any mode).
     pub fn completed(&self) -> usize {
-        self.completed.load(Ordering::Relaxed)
+        self.fold(|s| {
+            s.accurate.load(Ordering::Relaxed)
+                + s.approximate.load(Ordering::Relaxed)
+                + s.dropped.load(Ordering::Relaxed)
+        })
     }
 
     /// Number of tasks that executed their accurate body.
     pub fn accurate(&self) -> usize {
-        self.accurate.load(Ordering::Relaxed)
+        self.fold(|s| s.accurate.load(Ordering::Relaxed))
     }
 
     /// Number of tasks that executed their approximate body.
     pub fn approximate(&self) -> usize {
-        self.approximate.load(Ordering::Relaxed)
+        self.fold(|s| s.approximate.load(Ordering::Relaxed))
     }
 
     /// Number of dropped tasks.
     pub fn dropped(&self) -> usize {
-        self.dropped.load(Ordering::Relaxed)
+        self.fold(|s| s.dropped.load(Ordering::Relaxed))
     }
 
     /// Number of successful work-steal operations.
     pub fn steals(&self) -> usize {
-        self.steals.load(Ordering::Relaxed)
+        self.fold(|s| s.steals.load(Ordering::Relaxed))
     }
 
     /// Number of GTB buffer flushes performed.
     pub fn buffer_flushes(&self) -> usize {
-        self.buffer_flushes.load(Ordering::Relaxed)
+        self.fold(|s| s.buffer_flushes.load(Ordering::Relaxed))
     }
 
     /// Total time spent executing task bodies, summed over all workers.
     pub fn busy_core_seconds(&self) -> f64 {
-        self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+        self.shards
+            .iter()
+            .map(|s| s.busy_nanos.load(Ordering::Relaxed))
+            .sum::<u64>() as f64
+            * 1e-9
     }
 }
 
@@ -257,10 +400,10 @@ mod tests {
 
     #[test]
     fn counts_by_mode() {
-        let stats = GroupStats::default();
-        stats.record(level(90), ExecutionMode::Accurate);
-        stats.record(level(50), ExecutionMode::Approximate);
-        stats.record(level(10), ExecutionMode::Dropped);
+        let stats = GroupStats::new(4);
+        stats.record(0, level(90), ExecutionMode::Accurate);
+        stats.record(1, level(50), ExecutionMode::Approximate);
+        stats.record(2, level(10), ExecutionMode::Dropped);
         let snap = stats.snapshot(0.33);
         assert_eq!(snap.accurate, 1);
         assert_eq!(snap.approximate, 1);
@@ -269,13 +412,24 @@ mod tests {
     }
 
     #[test]
+    fn shards_fold_into_one_snapshot() {
+        let stats = GroupStats::new(3);
+        for worker in 0..5 {
+            // Worker indices past the shard count clamp to the last shard.
+            stats.record(worker, level(40), ExecutionMode::Accurate);
+        }
+        let snap = stats.snapshot(1.0);
+        assert_eq!(snap.accurate, 5);
+    }
+
+    #[test]
     fn achieved_ratio_and_diff() {
-        let stats = GroupStats::default();
+        let stats = GroupStats::new(2);
         for _ in 0..7 {
-            stats.record(level(80), ExecutionMode::Accurate);
+            stats.record(0, level(80), ExecutionMode::Accurate);
         }
         for _ in 0..3 {
-            stats.record(level(20), ExecutionMode::Approximate);
+            stats.record(1, level(20), ExecutionMode::Approximate);
         }
         let snap = stats.snapshot(0.5);
         assert!((snap.achieved_ratio() - 0.7).abs() < 1e-12);
@@ -324,12 +478,12 @@ mod tests {
 
     #[test]
     fn runtime_stats_accumulate() {
-        let stats = RuntimeStats::default();
+        let stats = RuntimeStats::new(2);
         stats.record_spawn();
         stats.record_spawn();
-        stats.record_execution(ExecutionMode::Accurate, Duration::from_millis(10));
-        stats.record_execution(ExecutionMode::Dropped, Duration::from_millis(0));
-        stats.record_steal();
+        stats.record_execution(0, ExecutionMode::Accurate, Duration::from_millis(10));
+        stats.record_execution(1, ExecutionMode::Dropped, Duration::from_millis(0));
+        stats.record_steal(1);
         stats.record_flush();
         assert_eq!(stats.spawned(), 2);
         assert_eq!(stats.completed(), 2);
@@ -343,8 +497,8 @@ mod tests {
 
     #[test]
     fn snapshot_log_is_preserved() {
-        let stats = GroupStats::default();
-        stats.record(level(42), ExecutionMode::Accurate);
+        let stats = GroupStats::new(1);
+        stats.record(0, level(42), ExecutionMode::Accurate);
         let snap = stats.snapshot(1.0);
         assert_eq!(snap.log(), &[(level(42), ExecutionMode::Accurate)]);
     }

@@ -1,0 +1,233 @@
+//! Low-level synchronisation primitives for the lock-free scheduler.
+//!
+//! Three small building blocks keep the runtime's hot path free of mutexes:
+//!
+//! * [`CachePadded`] — aligns per-worker state to its own cache line so
+//!   sharded counters and parkers do not false-share.
+//! * [`Parker`] — a per-worker sleep/wake slot built on
+//!   `std::thread::park`/`unpark`. The park-token semantics of the standard
+//!   library (an `unpark` delivered before `park` makes the next `park`
+//!   return immediately) combined with a SeqCst sleep flag give a
+//!   wakeup protocol with no timed polling and no lost wakeups.
+//! * [`EventCount`] — a barrier waiter used by `taskwait`. Completions only
+//!   touch one atomic when nobody waits; a waiter registers itself before
+//!   re-checking its predicate, so the notify side can skip the mutex
+//!   entirely in the common no-waiter case without races.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::Thread;
+
+/// Pads and aligns its contents to one 64-byte cache line, preventing false
+/// sharing between per-worker shards.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub(crate) fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+const AWAKE: u8 = 0;
+const SLEEPING: u8 = 1;
+
+/// One worker's sleep state plus its thread handle.
+///
+/// Protocol (all SeqCst so the flag and the queue state form a Dekker pair):
+///
+/// * the **worker** stores `SLEEPING`, then re-checks every queue; only if
+///   all are empty does it call `std::thread::park()`;
+/// * a **producer** pushes to a queue first, then loads the flag; if it reads
+///   `SLEEPING` it unparks the worker.
+///
+/// Either the producer's push is visible to the worker's re-check, or the
+/// worker's `SLEEPING` store is visible to the producer's load — so the
+/// worker can never sleep through a push. An `unpark` that arrives between
+/// the flag store and the `park()` is banked as the park token.
+#[derive(Debug, Default)]
+pub(crate) struct Parker {
+    state: AtomicU8,
+    thread: OnceLock<Thread>,
+}
+
+impl Parker {
+    /// Bind the parker to the calling thread. Must run before the worker's
+    /// first sleep attempt; producers never unpark an unregistered parker
+    /// because the worker registers before it can ever store `SLEEPING`.
+    pub(crate) fn register(&self) {
+        let _ = self.thread.set(std::thread::current());
+    }
+
+    /// Announce intent to sleep. Follow with a full queue re-check, then
+    /// either [`Parker::cancel`] or `std::thread::park()`.
+    pub(crate) fn prepare_park(&self) {
+        self.state.store(SLEEPING, Ordering::SeqCst);
+    }
+
+    /// Abandon or finish a sleep attempt.
+    pub(crate) fn cancel(&self) {
+        self.state.store(AWAKE, Ordering::SeqCst);
+    }
+
+    /// Unpark the worker if (and only if) it announced sleep. Returns whether
+    /// a wakeup was delivered.
+    ///
+    /// The CAS coalesces wakeups: exactly one producer per sleep episode pays
+    /// the `unpark` syscall; everyone else sees `AWAKE` and skips it. Without
+    /// this, a burst of pushes to a sleeping worker becomes a futex storm.
+    pub(crate) fn unpark_if_sleeping(&self) -> bool {
+        // Cheap load first: the scan over parkers runs on every push, and a
+        // CAS (even a failing one) would bounce the line around.
+        if self.state.load(Ordering::SeqCst) != SLEEPING {
+            return false;
+        }
+        if self
+            .state
+            .compare_exchange(SLEEPING, AWAKE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            if let Some(thread) = self.thread.get() {
+                thread.unpark();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Unconditional unpark, used for shutdown.
+    pub(crate) fn unpark_always(&self) {
+        if let Some(thread) = self.thread.get() {
+            thread.unpark();
+        }
+    }
+}
+
+/// Blocking predicate waiter for `taskwait`-style barriers.
+///
+/// The notify side is a single SeqCst load when no thread waits, replacing
+/// the seed design's mutex acquisition plus condvar broadcast on **every**
+/// task completion. Waiters register in `waiters` *before* re-checking their
+/// predicate; notifiers make the predicate true *before* loading `waiters`.
+/// In the SeqCst total order one of the two always observes the other, so a
+/// waiter can never sleep through the notification that would have released
+/// it — without any timed re-check.
+#[derive(Debug, Default)]
+pub(crate) struct EventCount {
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl EventCount {
+    /// Block until `predicate()` returns true. The predicate is re-evaluated
+    /// after every notification (and on spurious wakeups).
+    pub(crate) fn wait(&self, predicate: impl Fn() -> bool) {
+        if predicate() {
+            return;
+        }
+        loop {
+            let guard = self.lock.lock().unwrap();
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            if predicate() {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            let guard = self.condvar.wait(guard).unwrap();
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
+            if predicate() {
+                return;
+            }
+        }
+    }
+
+    /// Wake all waiters so they re-check their predicates. Cheap (one atomic
+    /// load) when nobody waits.
+    pub(crate) fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock().unwrap();
+            self.condvar.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn cache_padded_is_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 64);
+        let padded = CachePadded::new(7u32);
+        assert_eq!(*padded, 7);
+    }
+
+    #[test]
+    fn event_count_immediate_predicate() {
+        let ec = EventCount::default();
+        ec.wait(|| true);
+    }
+
+    #[test]
+    fn event_count_wakes_waiter() {
+        let ec = Arc::new(EventCount::default());
+        let flag = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let ec = ec.clone();
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                ec.wait(|| flag.load(Ordering::SeqCst));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        ec.notify();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn event_count_many_waiters() {
+        let ec = Arc::new(EventCount::default());
+        let flag = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ec = ec.clone();
+                let flag = flag.clone();
+                std::thread::spawn(move || ec.wait(|| flag.load(Ordering::SeqCst)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        flag.store(true, Ordering::SeqCst);
+        ec.notify();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn parker_unpark_before_park_is_banked() {
+        let parker = Arc::new(Parker::default());
+        parker.register();
+        parker.prepare_park();
+        assert!(parker.unpark_if_sleeping());
+        // The unpark above was banked as the park token: this returns at
+        // once instead of hanging.
+        std::thread::park();
+        parker.cancel();
+        assert!(!parker.unpark_if_sleeping(), "awake parker must not unpark");
+    }
+}

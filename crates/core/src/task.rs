@@ -9,14 +9,20 @@
 //! * scheduling state: how many predecessors are still outstanding, whether
 //!   the master has released it to the workers (GTB buffering), and the
 //!   execution-mode decision once it has been made.
+//!
+//! All scheduling state lives in **one atomic byte** ([`Task::decide`],
+//! [`Task::release`], [`Task::claim_enqueue`]), the two bodies live in
+//! take-once [`BodyCell`]s, and the successor list is a lock-free Treiber
+//! stack sealed at completion — so executing a ready task performs **zero
+//! mutex acquisitions**. The seed design spent two mutex locks per executed
+//! task on the body slots alone plus one on the successor list.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::deps::DepKey;
-use crate::group::GroupId;
+use crate::group::{GroupId, GroupState};
 use crate::significance::Significance;
 
 /// Unique identifier of a spawned task, in program (spawn) order.
@@ -46,88 +52,232 @@ pub enum ExecutionMode {
     Dropped,
 }
 
-const MODE_UNDECIDED: u8 = 0;
+// Layout of the task state byte.
+const MODE_MASK: u8 = 0b11; // 0 = undecided
 const MODE_ACCURATE: u8 = 1;
 const MODE_APPROXIMATE: u8 = 2;
+const RELEASED: u8 = 1 << 2;
+const ENQUEUED: u8 = 1 << 3;
+const COMPLETED: u8 = 1 << 4;
+
+/// A task body slot consumed exactly once, without a lock.
+///
+/// The cell is written only at construction. It is taken by the single
+/// worker that won [`Task::claim_enqueue`] and popped the task from a queue;
+/// the queue handoff (release store / CAS acquire) orders the construction
+/// write before the take.
+struct BodyCell(UnsafeCell<Option<TaskBody>>);
+
+// SAFETY: see the take-once discipline documented on the type; the cell is
+// never accessed from two threads without an intervening synchronisation
+// edge (queue push/pop or `&mut` creation).
+unsafe impl Send for BodyCell {}
+unsafe impl Sync for BodyCell {}
+
+impl BodyCell {
+    fn new(body: Option<TaskBody>) -> Self {
+        BodyCell(UnsafeCell::new(body))
+    }
+
+    /// Take the body out of the cell.
+    ///
+    /// # Safety
+    ///
+    /// Only the task's unique executor (the [`Task::claim_enqueue`] winner
+    /// after dequeuing the task) may call this, and nothing may read the
+    /// cell concurrently.
+    unsafe fn take(&self) -> Option<TaskBody> {
+        (*self.0.get()).take()
+    }
+}
+
+/// Sentinel marking a sealed successor list. Never dereferenced (and never
+/// equal to a real allocation: `dangling_mut` is the type's alignment).
+fn sealed() -> *mut SuccessorNode {
+    std::ptr::dangling_mut()
+}
+
+struct SuccessorNode {
+    task: Arc<Task>,
+    next: *mut SuccessorNode,
+}
+
+/// Lock-free list of tasks waiting on this task's completion.
+///
+/// Registrars push with a CAS; the completing worker swaps in a `sealed`
+/// sentinel and drains. A push that observes the sentinel knows the
+/// predecessor already completed and reports so — replacing the seed's
+/// `Mutex<Vec<Arc<Task>>>` plus separate `completed` flag read under that
+/// lock.
+pub(crate) struct SuccessorList {
+    head: AtomicPtr<SuccessorNode>,
+}
+
+impl SuccessorList {
+    fn new() -> Self {
+        SuccessorList {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Register `successor`; returns `false` if this task already completed
+    /// (the caller must then not count the dependence).
+    pub(crate) fn try_push(&self, successor: Arc<Task>) -> bool {
+        let node = Box::into_raw(Box::new(SuccessorNode {
+            task: successor,
+            next: std::ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            if head == sealed() {
+                // SAFETY: the node was just allocated above and never shared.
+                drop(unsafe { Box::from_raw(node) });
+                return false;
+            }
+            // SAFETY: the node is still exclusively ours until the CAS wins.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(observed) => head = observed,
+            }
+        }
+    }
+
+    /// Seal the list (no further pushes succeed) and drain the registered
+    /// successors in registration order.
+    pub(crate) fn seal(&self) -> Vec<Arc<Task>> {
+        let mut head = self.head.swap(sealed(), Ordering::AcqRel);
+        let mut successors = Vec::new();
+        while !head.is_null() && head != sealed() {
+            // SAFETY: the swap above made this list unreachable to pushers;
+            // each node came from `Box::into_raw` and is freed exactly once.
+            let node = unsafe { Box::from_raw(head) };
+            successors.push(node.task);
+            head = node.next;
+        }
+        successors.reverse();
+        successors
+    }
+}
+
+impl Drop for SuccessorList {
+    fn drop(&mut self) {
+        // Frees any nodes never drained (e.g. a task dropped unexecuted).
+        let _ = self.seal();
+    }
+}
 
 /// Internal state of a spawned task, shared between the master thread, the
 /// dependence tracker and the workers.
 pub(crate) struct Task {
     pub(crate) id: TaskId,
-    pub(crate) group: GroupId,
+    /// The group resolved at spawn time, so the execution hot path never
+    /// touches the group registry lock.
+    pub(crate) group_state: Arc<GroupState>,
     pub(crate) significance: Significance,
     /// Accurate body; taken (at most once) when the task executes.
-    pub(crate) accurate: Mutex<Option<TaskBody>>,
+    accurate: BodyCell,
     /// Optional approximate body; taken when the task executes approximately.
-    pub(crate) approximate: Mutex<Option<TaskBody>>,
-    /// Execution-mode decision (GTB decides at flush time, LQH at execution
-    /// time). `MODE_UNDECIDED` until then.
-    mode: AtomicU8,
+    approximate: BodyCell,
+    /// Combined decision + released + enqueued + completed state.
+    state: AtomicU8,
     /// Number of yet-uncompleted predecessor tasks.
     pub(crate) pending_deps: AtomicUsize,
-    /// Whether the master has released the task towards the worker queues
-    /// (GTB holds tasks back until its buffer flushes).
-    pub(crate) released: AtomicBool,
-    /// Guard so a task is enqueued into a worker queue exactly once even if
-    /// the release path and the last-dependence-completion path race.
-    pub(crate) enqueued: AtomicBool,
-    /// Set once the task has finished executing (in any mode). Read and
-    /// written under the `successors` lock by the registration/completion
-    /// paths so late successors never wait on an already-finished task.
-    pub(crate) completed: AtomicBool,
     /// Tasks that must be notified when this task completes.
-    pub(crate) successors: Mutex<Vec<Arc<Task>>>,
+    pub(crate) successors: SuccessorList,
     /// Output keys (needed to release `taskwait on(...)` waiters).
     pub(crate) out_keys: Vec<DepKey>,
+    /// Whether the task declared any `in`/`out` keys. A footprint-free task
+    /// can never be a predecessor, so its completion path skips the
+    /// successor-list seal and the dependence tracker entirely.
+    pub(crate) footprint: bool,
 }
 
 impl Task {
     pub(crate) fn new(
         id: TaskId,
-        group: GroupId,
+        group_state: Arc<GroupState>,
         significance: Significance,
         accurate: TaskBody,
         approximate: Option<TaskBody>,
         out_keys: Vec<DepKey>,
+        footprint: bool,
     ) -> Self {
         Task {
             id,
-            group,
+            group_state,
             significance,
-            accurate: Mutex::new(Some(accurate)),
-            approximate: Mutex::new(approximate),
-            mode: AtomicU8::new(MODE_UNDECIDED),
+            accurate: BodyCell::new(Some(accurate)),
+            approximate: BodyCell::new(approximate),
+            state: AtomicU8::new(0),
             pending_deps: AtomicUsize::new(0),
-            released: AtomicBool::new(false),
-            enqueued: AtomicBool::new(false),
-            completed: AtomicBool::new(false),
-            successors: Mutex::new(Vec::new()),
+            successors: SuccessorList::new(),
             out_keys,
+            footprint,
         }
     }
 
-    /// Whether an approximate body was supplied at spawn time.
+    /// Spawn fast path: mark the task released and enqueued (and decided
+    /// accurate, for the agnostic policy) before it is ever shared — a plain
+    /// store through `&mut`, not an atomic op. Valid only for tasks that go
+    /// straight to a queue from `spawn` (no GTB buffering, no predecessors).
+    pub(crate) fn prime_spawn_enqueued(&mut self, accurate: bool) {
+        let bits = if accurate {
+            MODE_ACCURATE | RELEASED | ENQUEUED
+        } else {
+            RELEASED | ENQUEUED
+        };
+        *self.state.get_mut() |= bits;
+    }
+
+    /// Take the accurate body.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the task's unique executor (see [`BodyCell::take`]).
+    pub(crate) unsafe fn take_accurate(&self) -> Option<TaskBody> {
+        self.accurate.take()
+    }
+
+    /// Take the approximate body.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the task's unique executor (see [`BodyCell::take`]).
+    pub(crate) unsafe fn take_approximate(&self) -> Option<TaskBody> {
+        self.approximate.take()
+    }
+
+    /// Whether an approximate body was supplied at spawn time. Must not race
+    /// with the executor; used by spawn-side code and tests only.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn has_approx_body(&self) -> bool {
-        self.approximate.lock().is_some()
+        // SAFETY: callers hold the task before it is ever enqueued.
+        unsafe { (*self.approximate.0.get()).is_some() }
     }
 
     /// Record the accurate/approximate decision. The first decision wins;
     /// later attempts are ignored (they can arise when a GTB flush races with
     /// a barrier flush of the same group).
     pub(crate) fn decide(&self, accurate: bool) {
-        let value = if accurate { MODE_ACCURATE } else { MODE_APPROXIMATE };
-        let _ = self.mode.compare_exchange(
-            MODE_UNDECIDED,
-            value,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+        let mode = if accurate {
+            MODE_ACCURATE
+        } else {
+            MODE_APPROXIMATE
+        };
+        let _ = self
+            .state
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |state| {
+                (state & MODE_MASK == 0).then_some(state | mode)
+            });
     }
 
     /// The decision made so far, if any. `Some(true)` means accurate.
     pub(crate) fn decision(&self) -> Option<bool> {
-        match self.mode.load(Ordering::Acquire) {
+        match self.state.load(Ordering::Acquire) & MODE_MASK {
             MODE_ACCURATE => Some(true),
             MODE_APPROXIMATE => Some(false),
             _ => None,
@@ -136,24 +286,56 @@ impl Task {
 
     /// Mark the task as released by the master (GTB flush or immediate
     /// release). Returns `true` the first time.
+    ///
+    /// SeqCst: `release` + `is_ready` on one thread races `pending_deps`
+    /// decrement + `is_released` on another (the GTB-flush vs
+    /// last-predecessor-completion pair). With anything weaker than SeqCst
+    /// this is a store-buffering pattern where both sides could read stale
+    /// and neither enqueues the task.
     pub(crate) fn release(&self) -> bool {
-        !self.released.swap(true, Ordering::AcqRel)
+        self.state.fetch_or(RELEASED, Ordering::SeqCst) & RELEASED == 0
+    }
+
+    /// Spawn-path fast combination of `decide(true)` + `release()` in one
+    /// atomic op, valid only while no other thread can have decided yet
+    /// (the significance-agnostic policy decides at spawn, before the task
+    /// is shared with any flush path).
+    pub(crate) fn release_accurate(&self) {
+        self.state
+            .fetch_or(MODE_ACCURATE | RELEASED, Ordering::SeqCst);
     }
 
     /// Whether the task has been released towards the worker queues.
+    /// SeqCst: see [`Task::release`].
     pub(crate) fn is_released(&self) -> bool {
-        self.released.load(Ordering::Acquire)
+        self.state.load(Ordering::SeqCst) & RELEASED != 0
     }
 
     /// Whether all predecessors have completed.
+    /// SeqCst: see [`Task::release`].
     pub(crate) fn is_ready(&self) -> bool {
-        self.pending_deps.load(Ordering::Acquire) == 0
+        self.pending_deps.load(Ordering::SeqCst) == 0
     }
 
     /// Atomically claim the right to enqueue this task. Returns `true` for
     /// exactly one caller.
     pub(crate) fn claim_enqueue(&self) -> bool {
-        !self.enqueued.swap(true, Ordering::AcqRel)
+        self.state.fetch_or(ENQUEUED, Ordering::AcqRel) & ENQUEUED == 0
+    }
+
+    /// The group the task was spawned into.
+    pub(crate) fn group_id(&self) -> GroupId {
+        self.group_state.id
+    }
+
+    /// Record that the task finished executing (in any mode).
+    pub(crate) fn mark_completed(&self) {
+        self.state.fetch_or(COMPLETED, Ordering::AcqRel);
+    }
+
+    /// Whether the task finished executing.
+    pub(crate) fn is_completed(&self) -> bool {
+        self.state.load(Ordering::Acquire) & COMPLETED != 0
     }
 }
 
@@ -161,11 +343,12 @@ impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Task")
             .field("id", &self.id)
-            .field("group", &self.group)
+            .field("group", &self.group_id())
             .field("significance", &self.significance)
             .field("decision", &self.decision())
             .field("pending_deps", &self.pending_deps.load(Ordering::Relaxed))
             .field("released", &self.is_released())
+            .field("completed", &self.is_completed())
             .finish()
     }
 }
@@ -174,14 +357,24 @@ impl std::fmt::Debug for Task {
 mod tests {
     use super::*;
 
+    fn test_group() -> Arc<GroupState> {
+        Arc::new(GroupState::new(
+            GroupId::GLOBAL,
+            Arc::from("<test>"),
+            1.0,
+            1,
+        ))
+    }
+
     fn dummy_task(significance: f64) -> Task {
         Task::new(
             TaskId(0),
-            GroupId::GLOBAL,
+            test_group(),
             Significance::new(significance),
             Box::new(|| {}),
             None,
             Vec::new(),
+            false,
         )
     }
 
@@ -192,6 +385,7 @@ mod tests {
         assert!(!t.is_released());
         assert!(t.is_ready());
         assert!(!t.has_approx_body());
+        assert!(!t.is_completed());
     }
 
     #[test]
@@ -200,7 +394,11 @@ mod tests {
         t.decide(true);
         assert_eq!(t.decision(), Some(true));
         t.decide(false);
-        assert_eq!(t.decision(), Some(true), "later decisions must not override");
+        assert_eq!(
+            t.decision(),
+            Some(true),
+            "later decisions must not override"
+        );
     }
 
     #[test]
@@ -219,16 +417,91 @@ mod tests {
     }
 
     #[test]
-    fn approx_body_detection() {
+    fn state_flags_are_independent() {
+        let t = dummy_task(0.9);
+        t.decide(false);
+        t.release();
+        t.claim_enqueue();
+        t.mark_completed();
+        assert_eq!(t.decision(), Some(false));
+        assert!(t.is_released());
+        assert!(t.is_completed());
+        assert!(!t.claim_enqueue());
+    }
+
+    #[test]
+    fn bodies_are_take_once() {
+        let ran = std::sync::Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
         let t = Task::new(
             TaskId(1),
-            GroupId::GLOBAL,
+            test_group(),
             Significance::new(0.3),
-            Box::new(|| {}),
+            Box::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            }),
             Some(Box::new(|| {})),
             Vec::new(),
+            false,
         );
         assert!(t.has_approx_body());
+        // SAFETY: single-threaded test, no concurrent executor.
+        let body = unsafe { t.take_accurate() }.expect("first take yields the body");
+        body();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert!(
+            unsafe { t.take_accurate() }.is_none(),
+            "second take is empty"
+        );
+        assert!(unsafe { t.take_approximate() }.is_some());
+        assert!(unsafe { t.take_approximate() }.is_none());
+    }
+
+    #[test]
+    fn successor_list_rejects_after_seal() {
+        let t = dummy_task(0.4);
+        let a = Arc::new(dummy_task(0.1));
+        let b = Arc::new(dummy_task(0.2));
+        assert!(t.successors.try_push(a.clone()));
+        assert!(t.successors.try_push(b.clone()));
+        let drained = t.successors.seal();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].id, a.id);
+        assert!(
+            !t.successors.try_push(a.clone()),
+            "push after seal must report completion"
+        );
+        assert!(t.successors.seal().is_empty(), "second seal drains nothing");
+    }
+
+    #[test]
+    fn successor_list_concurrent_push_and_seal_loses_no_task() {
+        for _ in 0..50 {
+            let t = Arc::new(dummy_task(0.5));
+            let registrar = {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut wired = 0usize;
+                    for _ in 0..64 {
+                        if t.successors.try_push(Arc::new(dummy_task(0.1))) {
+                            wired += 1;
+                        }
+                    }
+                    wired
+                })
+            };
+            let sealer = {
+                let t = t.clone();
+                std::thread::spawn(move || t.successors.seal().len())
+            };
+            let wired = registrar.join().unwrap();
+            let drained = sealer.join().unwrap();
+            assert!(drained <= wired);
+            // Tasks pushed after the seal were rejected; every accepted one
+            // must be drained by exactly one of the two seals.
+            let late = t.successors.seal().len();
+            assert_eq!(drained + late, wired, "no accepted successor may leak");
+        }
     }
 
     #[test]

@@ -107,11 +107,14 @@ impl WorkUnitMeter {
 
     /// Total modelled energy in joules.
     pub fn joules(&self) -> f64 {
-        self.model.joules_for(WorkClass::Accurate, self.units(WorkClass::Accurate))
+        self.model
+            .joules_for(WorkClass::Accurate, self.units(WorkClass::Accurate))
             + self
                 .model
                 .joules_for(WorkClass::Approximate, self.units(WorkClass::Approximate))
-            + self.model.joules_for(WorkClass::Runtime, self.units(WorkClass::Runtime))
+            + self
+                .model
+                .joules_for(WorkClass::Runtime, self.units(WorkClass::Runtime))
     }
 
     /// Reset all counters to zero (the model is retained).

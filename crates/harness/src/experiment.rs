@@ -169,7 +169,10 @@ mod tests {
             PolicyChoice::GtbUserBuffer.to_policy(8),
             Policy::Gtb { buffer_size: 8 }
         );
-        assert_eq!(PolicyChoice::GtbMaxBuffer.to_policy(8), Policy::GtbMaxBuffer);
+        assert_eq!(
+            PolicyChoice::GtbMaxBuffer.to_policy(8),
+            Policy::GtbMaxBuffer
+        );
         assert_eq!(PolicyChoice::ALL.len(), 3);
     }
 

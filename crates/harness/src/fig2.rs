@@ -15,16 +15,14 @@ use crate::experiment::{measure, ExperimentDefaults, ExperimentPoint, PolicyChoi
 /// each application, using a significance agnostic version of the runtime
 /// system" — i.e. the parallel task version with every task accurate, not a
 /// serial run.
-pub fn run_benchmark(benchmark: &dyn Benchmark, defaults: &ExperimentDefaults) -> Vec<ExperimentPoint> {
+pub fn run_benchmark(
+    benchmark: &dyn Benchmark,
+    defaults: &ExperimentDefaults,
+) -> Vec<ExperimentPoint> {
     let reference = benchmark.run_full_accuracy(defaults.workers, Policy::SignificanceAgnostic);
     let mut points = Vec::new();
     points.push(ExperimentPoint::from_run(
-        benchmark,
-        "accurate",
-        None,
-        defaults,
-        &reference,
-        &reference,
+        benchmark, "accurate", None, defaults, &reference, &reference,
     ));
     for degree in Degree::ALL {
         for choice in PolicyChoice::ALL {

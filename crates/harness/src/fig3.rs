@@ -76,7 +76,9 @@ pub fn generate_and_save(
 ) -> std::io::Result<Fig3Output> {
     let output = generate(sobel, defaults);
     std::fs::create_dir_all(dir)?;
-    output.image.save_pgm(dir.join("fig3_sobel_perforation.pgm"))?;
+    output
+        .image
+        .save_pgm(dir.join("fig3_sobel_perforation.pgm"))?;
     Ok(output)
 }
 

@@ -111,7 +111,11 @@ mod tests {
         // so the normalised time is dominated by scheduling noise. The real
         // Figure 4 numbers come from `sig-experiments fig4` / the Criterion
         // bench on default-sized inputs.
-        for (label, value) in [("GTB", row.gtb), ("GTB(MB)", row.gtb_max_buffer), ("LQH", row.lqh)] {
+        for (label, value) in [
+            ("GTB", row.gtb),
+            ("GTB(MB)", row.gtb_max_buffer),
+            ("LQH", row.lqh),
+        ] {
             assert!(
                 value.is_finite() && value > 0.0 && value < 50.0,
                 "{label} normalised time {value} out of range"

@@ -41,7 +41,10 @@ pub fn measure_policy(
     let (inverted, diff) = if groups.is_empty() {
         (0.0, 0.0)
     } else {
-        let inv: f64 = groups.iter().map(|(_, g)| g.inversion_percentage()).sum::<f64>()
+        let inv: f64 = groups
+            .iter()
+            .map(|(_, g)| g.inversion_percentage())
+            .sum::<f64>()
             / groups.len() as f64;
         let diff: f64 =
             groups.iter().map(|(_, g)| g.ratio_diff()).sum::<f64>() / groups.len() as f64;
@@ -135,7 +138,12 @@ mod tests {
             workers: 2,
             ..Default::default()
         };
-        let row = measure_policy(&sobel, PolicyChoice::GtbMaxBuffer, Degree::Medium, &defaults);
+        let row = measure_policy(
+            &sobel,
+            PolicyChoice::GtbMaxBuffer,
+            Degree::Medium,
+            &defaults,
+        );
         // The paper: GTB respects task significance and the requested ratio
         // perfectly (zero inversions, zero ratio deviation) for Max-Buffer.
         assert_eq!(row.inverted_percent, 0.0);
@@ -152,7 +160,12 @@ mod tests {
             workers: 4,
             ..Default::default()
         };
-        let gtb = measure_policy(&sobel, PolicyChoice::GtbMaxBuffer, Degree::Medium, &defaults);
+        let gtb = measure_policy(
+            &sobel,
+            PolicyChoice::GtbMaxBuffer,
+            Degree::Medium,
+            &defaults,
+        );
         let lqh = measure_policy(&sobel, PolicyChoice::Lqh, Degree::Medium, &defaults);
         // GTB Max-Buffer is exact by construction; LQH works from local,
         // partial information so it may invert some significances and drift

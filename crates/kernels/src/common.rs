@@ -318,9 +318,17 @@ mod tests {
         let reference = vec![100.0, 100.0, 100.0];
         let identical = score_against(QualityMetric::PsnrInverse, &reference, &reference);
         assert_eq!(identical.value, 0.0);
-        let noisy = score_against(QualityMetric::PsnrInverse, &reference, &[100.0, 101.0, 99.0]);
+        let noisy = score_against(
+            QualityMetric::PsnrInverse,
+            &reference,
+            &[100.0, 101.0, 99.0],
+        );
         assert!(noisy.value > 0.0);
-        let rel = score_against(QualityMetric::RelativeError, &reference, &[110.0, 100.0, 100.0]);
+        let rel = score_against(
+            QualityMetric::RelativeError,
+            &reference,
+            &[110.0, 100.0, 100.0],
+        );
         assert!((rel.value - 100.0 * 10.0 / 300.0).abs() < 1e-9);
     }
 

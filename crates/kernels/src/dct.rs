@@ -241,7 +241,14 @@ impl Dct {
         for by in 0..layout.blocks_y {
             for k in 0..LAYERS {
                 let (start, end) = layout.stripe_layer_range(by, k);
-                Dct::compute_stripe_layer(pixels, self.width, &layout, by, k, &mut coeffs[start..end]);
+                Dct::compute_stripe_layer(
+                    pixels,
+                    self.width,
+                    &layout,
+                    by,
+                    k,
+                    &mut coeffs[start..end],
+                );
             }
         }
         self.reconstruct(&layout, &coeffs)
@@ -293,7 +300,14 @@ impl Dct {
             let by = chunk / LAYERS;
             let k = chunk % LAYERS;
             let (seg_start, seg_end) = layout.stripe_layer_range(by, k);
-            Dct::compute_stripe_layer(pixels, self.width, &layout, by, k, &mut coeffs[seg_start..seg_end]);
+            Dct::compute_stripe_layer(
+                pixels,
+                self.width,
+                &layout,
+                by,
+                k,
+                &mut coeffs[seg_start..seg_end],
+            );
         }
         let elapsed = start.elapsed();
         RunOutput::serial(self.reconstruct(&layout, &coeffs), elapsed)
@@ -356,7 +370,9 @@ mod tests {
         for k in 0..LAYERS {
             let positions = layer_positions(k);
             assert_eq!(positions.len(), layer_size(k));
-            assert!(positions.iter().all(|&(u, v)| u + v == k && u < BLOCK && v < BLOCK));
+            assert!(positions
+                .iter()
+                .all(|&(u, v)| u + v == k && u < BLOCK && v < BLOCK));
         }
     }
 
@@ -409,7 +425,11 @@ mod tests {
     fn dropping_high_frequencies_is_graceful() {
         let d = small();
         let reference = d.run(&ExecutionConfig::accurate(2));
-        let mild = d.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let mild = d.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Mild,
+        ));
         let aggr = d.run(&ExecutionConfig::significance(
             2,
             Policy::GtbMaxBuffer,

@@ -66,7 +66,13 @@ impl Default for Fluidanimate {
 /// Accurate update of one chunk of particles: SPH-style density/pressure
 /// forces from all neighbours within the interaction radius, plus gravity and
 /// box collisions, then symplectic Euler integration.
-fn step_accurate(state: &[f64], range: std::ops::Range<usize>, dt: f64, radius: f64, out: &mut [f64]) {
+fn step_accurate(
+    state: &[f64],
+    range: std::ops::Range<usize>,
+    dt: f64,
+    radius: f64,
+    out: &mut [f64],
+) {
     let n = state.len() / STRIDE;
     let r2 = radius * radius;
     for (local, i) in range.enumerate() {
@@ -262,8 +268,9 @@ impl Fluidanimate {
             for chunk in 0..self.chunks {
                 let range = self.chunk_range(chunk);
                 let len = range.len();
-                merged[range.start * STRIDE..range.end * STRIDE]
-                    .copy_from_slice(&rows[chunk * per_chunk * STRIDE..chunk * per_chunk * STRIDE + len * STRIDE]);
+                merged[range.start * STRIDE..range.end * STRIDE].copy_from_slice(
+                    &rows[chunk * per_chunk * STRIDE..chunk * per_chunk * STRIDE + len * STRIDE],
+                );
             }
             state = Arc::new(merged);
         }
@@ -367,7 +374,8 @@ mod tests {
         let after = f.run_accurate_serial();
         let mean_y_initial: f64 =
             initial.chunks_exact(2).map(|p| p[1]).sum::<f64>() / f.particles as f64;
-        let mean_y_after: f64 = after.chunks_exact(2).map(|p| p[1]).sum::<f64>() / f.particles as f64;
+        let mean_y_after: f64 =
+            after.chunks_exact(2).map(|p| p[1]).sum::<f64>() / f.particles as f64;
         assert!(
             mean_y_after < mean_y_initial,
             "fluid should fall: {mean_y_initial} -> {mean_y_after}"
@@ -392,7 +400,11 @@ mod tests {
     fn mild_approximation_is_stable_and_close() {
         let f = small();
         let reference = f.run(&ExecutionConfig::accurate(2));
-        let mild = f.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let mild = f.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Mild,
+        ));
         let q = f.quality(&reference, &mild).value;
         // Paper: only the mild degree gives acceptable results; it should be
         // within a few percent relative error here.
@@ -406,7 +418,11 @@ mod tests {
     fn aggressive_approximation_degrades_more_than_mild() {
         let f = small();
         let reference = f.run(&ExecutionConfig::accurate(2));
-        let mild = f.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let mild = f.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Mild,
+        ));
         let aggr = f.run(&ExecutionConfig::significance(
             2,
             Policy::GtbMaxBuffer,
@@ -414,7 +430,10 @@ mod tests {
         ));
         let q_mild = f.quality(&reference, &mild).value;
         let q_aggr = f.quality(&reference, &aggr).value;
-        assert!(q_mild <= q_aggr + 1e-9, "mild {q_mild} vs aggressive {q_aggr}");
+        assert!(
+            q_mild <= q_aggr + 1e-9,
+            "mild {q_mild} vs aggressive {q_aggr}"
+        );
     }
 
     #[test]

@@ -91,9 +91,9 @@ fn update_block(
             None => (0, n),
         };
         let mut sum = 0.0;
-        for j in lo..hi {
+        for (j, xj) in x.iter().enumerate().take(hi).skip(lo) {
             if j != i {
-                sum += matrix_entry(n, i, j) * x[j];
+                sum += matrix_entry(n, i, j) * xj;
             }
         }
         out[local] = (b[i] - sum) / matrix_entry(n, i, i);
@@ -139,7 +139,14 @@ impl Jacobi {
             for block in 0..self.blocks {
                 let range = self.block_range(block);
                 let local = range.clone();
-                update_block(self.n, &b, &x, range, None, &mut x_new[local.start..local.end]);
+                update_block(
+                    self.n,
+                    &b,
+                    &x,
+                    range,
+                    None,
+                    &mut x_new[local.start..local.end],
+                );
             }
             let delta = Jacobi::max_delta(&x, &x_new);
             x = x_new;
@@ -180,7 +187,14 @@ impl Jacobi {
                 let len = range.len();
                 rt.task(move || {
                     let mut out = writer.lock().expect("block writer");
-                    update_block(n, &b_acc, &x_acc, range.clone(), None, &mut out.as_mut_slice()[..len]);
+                    update_block(
+                        n,
+                        &b_acc,
+                        &x_acc,
+                        range.clone(),
+                        None,
+                        &mut out.as_mut_slice()[..len],
+                    );
                 })
                 .approx(move || {
                     let mut out = writer_apx.lock().expect("block writer");
@@ -235,7 +249,14 @@ impl Jacobi {
             for &block in &kept {
                 let range = self.block_range(block);
                 let local = range.clone();
-                update_block(self.n, &b, &x, range, None, &mut x_new[local.start..local.end]);
+                update_block(
+                    self.n,
+                    &b,
+                    &x,
+                    range,
+                    None,
+                    &mut x_new[local.start..local.end],
+                );
             }
             let delta = Jacobi::max_delta(&x, &x_new);
             x = x_new;
@@ -332,19 +353,23 @@ mod tests {
         let b = j.rhs();
         // Residual check: ||Ax − b||_∞ must be tiny.
         let mut max_residual = 0.0f64;
-        for i in 0..j.n {
+        for (i, bi) in b.iter().enumerate() {
             let mut row = 0.0;
             for (jj, xv) in x.iter().enumerate() {
                 row += matrix_entry(j.n, i, jj) * xv;
             }
-            max_residual = max_residual.max((row - b[i]).abs());
+            max_residual = max_residual.max((row - bi).abs());
         }
         assert!(max_residual < 1e-3, "residual {max_residual}");
     }
 
     #[test]
     fn block_ranges_partition_unknowns() {
-        let j = Jacobi { n: 100, blocks: 7, ..small() };
+        let j = Jacobi {
+            n: 100,
+            blocks: 7,
+            ..small()
+        };
         let mut covered = vec![false; j.n];
         for block in 0..j.blocks {
             for i in j.block_range(block) {
@@ -374,13 +399,13 @@ mod tests {
         let j = small();
         let reference = j.run(&ExecutionConfig::accurate(2));
         for degree in [Degree::Mild, Degree::Medium, Degree::Aggressive] {
-            let approx = j.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, degree));
+            let approx = j.run(&ExecutionConfig::significance(
+                2,
+                Policy::GtbMaxBuffer,
+                degree,
+            ));
             let q = j.quality(&reference, &approx).value;
-            assert!(
-                q < 5.0,
-                "{:?}: relative error {q}% too large",
-                degree
-            );
+            assert!(q < 5.0, "{:?}: relative error {q}% too large", degree);
         }
     }
 
@@ -388,7 +413,11 @@ mod tests {
     fn relaxed_tolerance_degrades_monotonically() {
         let j = small();
         let reference = j.run(&ExecutionConfig::accurate(2));
-        let mild = j.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let mild = j.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Mild,
+        ));
         let aggr = j.run(&ExecutionConfig::significance(
             2,
             Policy::GtbMaxBuffer,
@@ -396,7 +425,10 @@ mod tests {
         ));
         let q_mild = j.quality(&reference, &mild).value;
         let q_aggr = j.quality(&reference, &aggr).value;
-        assert!(q_mild <= q_aggr + 1e-9, "mild {q_mild} vs aggressive {q_aggr}");
+        assert!(
+            q_mild <= q_aggr + 1e-9,
+            "mild {q_mild} vs aggressive {q_aggr}"
+        );
     }
 
     #[test]

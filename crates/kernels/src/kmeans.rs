@@ -171,12 +171,7 @@ impl KMeans {
     /// Reduce per-chunk partials into new centroids; clusters that received
     /// no observations keep their previous centroid. Returns the total moved
     /// count reported by accurate chunks.
-    fn reduce(
-        &self,
-        partials: &[f64],
-        previous: &[f64],
-        centroids: &mut Vec<f64>,
-    ) -> usize {
+    fn reduce(&self, partials: &[f64], previous: &[f64], centroids: &mut [f64]) -> usize {
         let row = partial_row_len(self.clusters, self.dims);
         let mut sums = vec![0.0f64; self.clusters * self.dims];
         let mut counts = vec![0.0f64; self.clusters];
@@ -475,7 +470,10 @@ mod tests {
             let best = (0..km.clusters)
                 .map(|t| distance_accurate(centroid, &truth[t * km.dims..(t + 1) * km.dims]))
                 .fold(f64::INFINITY, f64::min);
-            assert!(best < 100.0, "centroid {c} far from every true centre: {best}");
+            assert!(
+                best < 100.0,
+                "centroid {c} far from every true centre: {best}"
+            );
         }
     }
 
@@ -493,7 +491,11 @@ mod tests {
     fn approximation_error_is_small_and_graceful() {
         let km = small();
         let reference = km.run(&ExecutionConfig::accurate(2));
-        let mild = km.run(&ExecutionConfig::significance(2, Policy::GtbMaxBuffer, Degree::Mild));
+        let mild = km.run(&ExecutionConfig::significance(
+            2,
+            Policy::GtbMaxBuffer,
+            Degree::Mild,
+        ));
         let aggr = km.run(&ExecutionConfig::significance(
             2,
             Policy::GtbMaxBuffer,

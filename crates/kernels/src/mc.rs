@@ -244,9 +244,7 @@ impl Benchmark for MonteCarlo {
             Approach::Significance { policy, degree } => {
                 self.run_tasks(config.workers, policy, MonteCarlo::ratio_for(degree))
             }
-            Approach::Perforation { degree } => {
-                self.run_perforated(MonteCarlo::ratio_for(degree))
-            }
+            Approach::Perforation { degree } => self.run_perforated(MonteCarlo::ratio_for(degree)),
         }
     }
 
@@ -281,10 +279,10 @@ mod tests {
         let points = mc.boundary_points();
         assert_eq!(points.len(), mc.points);
         for &(x, y) in &points {
-            let on_vertical = ((x - 0.25).abs() < 1e-9 || (x - 0.75).abs() < 1e-9)
-                && (0.25..=0.75).contains(&y);
-            let on_horizontal = ((y - 0.25).abs() < 1e-9 || (y - 0.75).abs() < 1e-9)
-                && (0.25..=0.75).contains(&x);
+            let on_vertical =
+                ((x - 0.25).abs() < 1e-9 || (x - 0.75).abs() < 1e-9) && (0.25..=0.75).contains(&y);
+            let on_horizontal =
+                ((y - 0.25).abs() < 1e-9 || (y - 0.75).abs() < 1e-9) && (0.25..=0.75).contains(&x);
             assert!(on_vertical || on_horizontal, "({x}, {y}) not on the square");
         }
     }

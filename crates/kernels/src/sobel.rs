@@ -40,7 +40,8 @@ impl Default for Sobel {
 /// Accurate horizontal Sobel operator (all six taps).
 #[inline]
 fn sbl_x(img: &[u8], width: usize, y: usize, x: usize) -> i32 {
-    img[(y - 1) * width + x - 1] as i32 + 2 * img[y * width + x - 1] as i32
+    img[(y - 1) * width + x - 1] as i32
+        + 2 * img[y * width + x - 1] as i32
         + img[(y + 1) * width + x - 1] as i32
         - img[(y - 1) * width + x + 1] as i32
         - 2 * img[y * width + x + 1] as i32
@@ -50,7 +51,8 @@ fn sbl_x(img: &[u8], width: usize, y: usize, x: usize) -> i32 {
 /// Accurate vertical Sobel operator (all six taps).
 #[inline]
 fn sbl_y(img: &[u8], width: usize, y: usize, x: usize) -> i32 {
-    img[(y - 1) * width + x - 1] as i32 + 2 * img[(y - 1) * width + x] as i32
+    img[(y - 1) * width + x - 1] as i32
+        + 2 * img[(y - 1) * width + x] as i32
         + img[(y - 1) * width + x + 1] as i32
         - img[(y + 1) * width + x - 1] as i32
         - 2 * img[(y + 1) * width + x] as i32
@@ -76,20 +78,21 @@ fn sbl_y_approx(img: &[u8], width: usize, y: usize, x: usize) -> i32 {
 
 /// Accurate computation of one output row: `sqrt(sx² + sy²)`, clamped to 255.
 fn row_accurate(img: &[u8], width: usize, y: usize, out_row: &mut [u8]) {
-    for x in 1..width - 1 {
+    for (x, out) in out_row.iter_mut().enumerate().take(width - 1).skip(1) {
         let gx = sbl_x(img, width, y, x) as f64;
         let gy = sbl_y(img, width, y, x) as f64;
         let p = (gx * gx + gy * gy).sqrt();
-        out_row[x] = if p > 255.0 { 255 } else { p as u8 };
+        *out = if p > 255.0 { 255 } else { p as u8 };
     }
 }
 
 /// Approximate computation of one output row: `|sx| + |sy|` with the reduced
 /// stencils.
 fn row_approximate(img: &[u8], width: usize, y: usize, out_row: &mut [u8]) {
-    for x in 1..width - 1 {
-        let p = (sbl_x_approx(img, width, y, x).abs() + sbl_y_approx(img, width, y, x).abs()) as u32;
-        out_row[x] = if p > 255 { 255 } else { p as u8 };
+    for (x, out) in out_row.iter_mut().enumerate().take(width - 1).skip(1) {
+        let p =
+            (sbl_x_approx(img, width, y, x).abs() + sbl_y_approx(img, width, y, x).abs()) as u32;
+        *out = if p > 255 { 255 } else { p as u8 };
     }
 }
 
@@ -268,7 +271,10 @@ mod tests {
         ));
         let q_mild = s.quality(&reference, &mild).value;
         let q_aggr = s.quality(&reference, &aggressive).value;
-        assert!(q_mild <= q_aggr, "mild {q_mild} should beat aggressive {q_aggr}");
+        assert!(
+            q_mild <= q_aggr,
+            "mild {q_mild} should beat aggressive {q_aggr}"
+        );
         // Even aggressive approximation keeps a finite, reasonable PSNR:
         // PSNR^-1 < 0.1 means PSNR > 10 dB.
         assert!(q_aggr < 0.1, "aggressive PSNR^-1 {q_aggr} too large");
@@ -307,7 +313,11 @@ mod tests {
     fn lqh_policy_also_produces_valid_output() {
         let s = small();
         let reference = s.run(&ExecutionConfig::accurate(2));
-        let lqh = s.run(&ExecutionConfig::significance(2, Policy::Lqh, Degree::Medium));
+        let lqh = s.run(&ExecutionConfig::significance(
+            2,
+            Policy::Lqh,
+            Degree::Medium,
+        ));
         assert_eq!(lqh.values.len(), reference.values.len());
         assert_eq!(lqh.tasks.total, s.height - 2);
         let q = score_against(QualityMetric::PsnrInverse, &reference.values, &lqh.values);

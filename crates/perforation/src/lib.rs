@@ -216,7 +216,10 @@ mod tests {
 
     #[test]
     fn kept_indices_full_and_empty() {
-        assert_eq!(kept_indices(5, PerforationRate::keep(1.0)), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            kept_indices(5, PerforationRate::keep(1.0)),
+            vec![0, 1, 2, 3, 4]
+        );
         assert!(kept_indices(5, PerforationRate::keep(0.0)).is_empty());
     }
 

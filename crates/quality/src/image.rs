@@ -45,7 +45,11 @@ impl GrayImage {
             width * height,
             "pixel buffer length must equal width * height"
         );
-        GrayImage { width, height, data }
+        GrayImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Deterministic synthetic test image combining smooth gradients, hard

@@ -25,6 +25,6 @@ pub mod metrics;
 
 pub use image::GrayImage;
 pub use metrics::{
-    max_abs_error, mean_relative_error, mse, psnr, psnr_inverse, relative_error,
-    relative_error_l2, QualityMetric, QualityScore,
+    max_abs_error, mean_relative_error, mse, psnr, psnr_inverse, relative_error, relative_error_l2,
+    QualityMetric, QualityScore,
 };

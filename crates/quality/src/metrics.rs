@@ -50,7 +50,11 @@ impl QualityScore {
     pub fn from_psnr(psnr_db: f64) -> Self {
         QualityScore {
             metric: QualityMetric::PsnrInverse,
-            value: if psnr_db.is_infinite() { 0.0 } else { 1.0 / psnr_db },
+            value: if psnr_db.is_infinite() {
+                0.0
+            } else {
+                1.0 / psnr_db
+            },
         }
     }
 
@@ -121,7 +125,11 @@ pub fn relative_error(reference: &[f64], approx: &[f64]) -> f64 {
         approx.len(),
         "relative_error: slices must have equal length"
     );
-    let num: f64 = reference.iter().zip(approx).map(|(r, a)| (r - a).abs()).sum();
+    let num: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(r, a)| (r - a).abs())
+        .sum();
     let den: f64 = reference.iter().map(|r| r.abs()).sum();
     if den == 0.0 {
         num
@@ -303,7 +311,10 @@ mod tests {
         assert_eq!(s.metric, QualityMetric::RelativeError);
         assert!((s.value - 0.4).abs() < 1e-12);
 
-        assert_eq!(QualityScore::perfect(QualityMetric::RelativeError).value, 0.0);
+        assert_eq!(
+            QualityScore::perfect(QualityMetric::RelativeError).value,
+            0.0
+        );
     }
 
     #[test]

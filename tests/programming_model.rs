@@ -18,7 +18,11 @@ fn pragma_style_pipeline_with_dependencies() {
     // Producer -> transformer -> consumer, wired purely through in/out keys.
     {
         let log = log.clone();
-        task!(rt, out([stage_a]), body(move || log.lock().unwrap().push("produce")));
+        task!(
+            rt,
+            out([stage_a]),
+            body(move || log.lock().unwrap().push("produce"))
+        );
     }
     {
         let log = log.clone();
@@ -32,7 +36,10 @@ fn pragma_style_pipeline_with_dependencies() {
     }
     taskwait!(rt);
 
-    assert_eq!(*log.lock().unwrap(), vec!["produce", "transform", "consume"]);
+    assert_eq!(
+        *log.lock().unwrap(),
+        vec!["produce", "transform", "consume"]
+    );
 }
 
 #[test]
@@ -47,18 +54,26 @@ fn ratio_at_group_barrier_controls_accuracy_mix() {
     for i in 0..60u32 {
         let acc = accurate.clone();
         let apx = approximate.clone();
-        task!(rt,
+        task!(
+            rt,
             significant(((i % 9) + 1) as f64 / 10.0),
-            approxfun(move || { apx.fetch_add(1, Ordering::Relaxed); }),
+            approxfun(move || {
+                apx.fetch_add(1, Ordering::Relaxed);
+            }),
             label(&group),
-            body(move || { acc.fetch_add(1, Ordering::Relaxed); })
+            body(move || {
+                acc.fetch_add(1, Ordering::Relaxed);
+            })
         );
     }
     taskwait!(rt, label(&group), ratio(0.25));
     assert_eq!(accurate.load(Ordering::Relaxed), 15);
     assert_eq!(approximate.load(Ordering::Relaxed), 45);
     let stats = rt.group_stats(&group);
-    assert_eq!(stats.inverted, 0, "GTB Max-Buffer never inverts significance");
+    assert_eq!(
+        stats.inverted, 0,
+        "GTB Max-Buffer never inverts significance"
+    );
 }
 
 #[test]

@@ -101,7 +101,10 @@ proptest! {
 /// group statistics is always consistent with the mode counts.
 #[test]
 fn achieved_ratio_is_consistent_with_counts() {
-    let rt = Runtime::builder().workers(2).policy(Policy::GtbMaxBuffer).build();
+    let rt = Runtime::builder()
+        .workers(2)
+        .policy(Policy::GtbMaxBuffer)
+        .build();
     let group = rt.create_group("consistency", 0.3);
     for i in 0..40u32 {
         rt.task(|| {})

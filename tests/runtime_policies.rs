@@ -89,7 +89,10 @@ fn approximate_execution_reduces_modelled_energy() {
         accurate.busy_core_seconds
     );
     let model = PowerModel::for_host();
-    let wall = accurate.elapsed.as_secs_f64().max(aggressive.elapsed.as_secs_f64());
+    let wall = accurate
+        .elapsed
+        .as_secs_f64()
+        .max(aggressive.elapsed.as_secs_f64());
     let e_accurate = model.energy_joules(wall, accurate.busy_core_seconds);
     let e_aggressive = model.energy_joules(wall, aggressive.busy_core_seconds);
     assert!(e_aggressive < e_accurate);
@@ -124,7 +127,11 @@ fn perforation_baseline_is_available_where_the_paper_applies_it() {
                     degree: Degree::Aggressive,
                 },
             });
-            assert!(!run.values.is_empty(), "{} perforation run empty", info.name);
+            assert!(
+                !run.values.is_empty(),
+                "{} perforation run empty",
+                info.name
+            );
         } else {
             assert_eq!(
                 info.name, "Fluidanimate",

@@ -1,0 +1,230 @@
+//! Scheduler concurrency stress tests.
+//!
+//! Guards the lock-free hot path: the `claim_enqueue` exactly-once invariant
+//! (no task executed twice or lost), dependence ordering under load, the
+//! per-group accurate-ratio invariants of all four policies, and the
+//! park/unpark wakeup protocol under multi-threaded spawning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use significance_repro::prelude::*;
+
+const STRESS_TASKS: usize = 100_000;
+
+fn policies() -> [Policy; 4] {
+    [
+        Policy::SignificanceAgnostic,
+        Policy::Gtb { buffer_size: 16 },
+        Policy::GtbMaxBuffer,
+        Policy::Lqh,
+    ]
+}
+
+#[test]
+fn stress_tasks_execute_exactly_once_under_every_policy() {
+    for policy in policies() {
+        let rt = Runtime::builder().workers(8).policy(policy).build();
+        let group = rt.create_group("stress", 0.5);
+        let executions = Arc::new(AtomicUsize::new(0));
+        for i in 0..STRESS_TASKS {
+            let acc = executions.clone();
+            let apx = executions.clone();
+            rt.task(move || {
+                acc.fetch_add(1, Ordering::Relaxed);
+            })
+            .approx(move || {
+                apx.fetch_add(1, Ordering::Relaxed);
+            })
+            .significance(((i % 9) + 1) as f64 / 10.0)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        let stats = rt.group_stats(&group);
+
+        // Exactly-once execution: every task ran exactly one of its bodies.
+        assert_eq!(
+            executions.load(Ordering::Relaxed),
+            STRESS_TASKS,
+            "{policy:?}: lost or duplicated executions"
+        );
+        assert_eq!(stats.total(), STRESS_TASKS, "{policy:?}: stats disagree");
+        assert_eq!(stats.dropped, 0, "{policy:?}: nothing should be dropped");
+        assert_eq!(rt.stats().spawned(), STRESS_TASKS);
+        assert_eq!(rt.stats().completed(), STRESS_TASKS);
+
+        // Per-policy accurate-ratio invariants at ratio 0.5 over significances
+        // uniformly drawn from {0.1, ..., 0.9}.
+        let achieved = stats.achieved_ratio();
+        match policy {
+            Policy::SignificanceAgnostic => {
+                assert_eq!(stats.accurate, STRESS_TASKS, "agnostic runs all accurately");
+            }
+            Policy::GtbMaxBuffer => {
+                // Perfect information: exact up to ceil rounding, no inversions.
+                assert_eq!(stats.accurate, STRESS_TASKS / 2);
+                assert_eq!(stats.inverted, 0);
+            }
+            Policy::Gtb { .. } => {
+                assert!(
+                    (achieved - 0.5).abs() < 0.1,
+                    "GTB achieved ratio {achieved} too far from 0.5"
+                );
+            }
+            Policy::Lqh => {
+                assert!(
+                    (0.2..=0.8).contains(&achieved),
+                    "LQH achieved ratio {achieved} implausible for request 0.5"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stress_dependence_chains_preserve_order_under_load() {
+    const CHAINS: usize = 200;
+    const LENGTH: usize = 250;
+    for policy in [
+        Policy::SignificanceAgnostic,
+        Policy::Gtb { buffer_size: 64 },
+        Policy::Lqh,
+    ] {
+        let rt = Runtime::builder().workers(8).policy(policy).build();
+        let group = rt.create_group("chains", 1.0);
+        let base = DepKey::named("chain-stress");
+        let positions: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..CHAINS).map(|_| AtomicUsize::new(0)).collect());
+        let violations = Arc::new(AtomicUsize::new(0));
+        for link in 0..LENGTH {
+            for chain in 0..CHAINS {
+                let key = DepKey::element(base, chain);
+                let positions = positions.clone();
+                let violations = violations.clone();
+                rt.task(move || {
+                    let seen = positions[chain].fetch_add(1, Ordering::SeqCst);
+                    if seen != link {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .significance(1.0)
+                .group(&group)
+                .reads([key])
+                .writes([key])
+                .spawn();
+            }
+        }
+        rt.wait_group(&group);
+        assert_eq!(
+            violations.load(Ordering::SeqCst),
+            0,
+            "{policy:?}: dependence order violated"
+        );
+        for chain in 0..CHAINS {
+            assert_eq!(
+                positions[chain].load(Ordering::SeqCst),
+                LENGTH,
+                "{policy:?}: chain {chain} lost tasks"
+            );
+        }
+        assert_eq!(rt.panicked_tasks(), 0);
+    }
+}
+
+#[test]
+fn stress_critical_and_negligible_invariants_hold() {
+    for policy in [
+        Policy::Gtb { buffer_size: 32 },
+        Policy::GtbMaxBuffer,
+        Policy::Lqh,
+    ] {
+        let rt = Runtime::builder().workers(8).policy(policy).build();
+        let group = rt.create_group("classes", 0.4);
+        let critical_accurate = Arc::new(AtomicUsize::new(0));
+        let negligible_accurate = Arc::new(AtomicUsize::new(0));
+        let mut critical_total = 0usize;
+        for i in 0..30_000usize {
+            let (sig, counter) = match i % 3 {
+                0 => {
+                    critical_total += 1;
+                    (1.0, critical_accurate.clone())
+                }
+                1 => (0.0, negligible_accurate.clone()),
+                _ => (0.5, Arc::new(AtomicUsize::new(0))),
+            };
+            rt.task(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .approx(|| {})
+            .significance(sig)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        assert_eq!(
+            critical_accurate.load(Ordering::Relaxed),
+            critical_total,
+            "{policy:?}: every significance-1.0 task must run its accurate body"
+        );
+        assert_eq!(
+            negligible_accurate.load(Ordering::Relaxed),
+            0,
+            "{policy:?}: no significance-0.0 task may run its accurate body"
+        );
+    }
+}
+
+#[test]
+fn stress_concurrent_spawners_lose_no_wakeups() {
+    // Four spawner threads hammer the runtime at once: exercises the MPMC
+    // inbox path and the sleep/wake Dekker protocol (a lost wakeup hangs
+    // this test; the seed's check-then-wait race was exactly that bug).
+    const SPAWNERS: usize = 4;
+    const PER_SPAWNER: usize = 25_000;
+    let rt = Runtime::builder()
+        .workers(8)
+        .policy(Policy::SignificanceAgnostic)
+        .build();
+    let executions = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..SPAWNERS {
+            let rt = &rt;
+            let executions = executions.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_SPAWNER {
+                    let counter = executions.clone();
+                    rt.task(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .spawn();
+                }
+            });
+        }
+    });
+    rt.wait_all();
+    assert_eq!(executions.load(Ordering::Relaxed), SPAWNERS * PER_SPAWNER);
+    assert_eq!(rt.stats().completed(), SPAWNERS * PER_SPAWNER);
+}
+
+#[test]
+fn stress_repeated_barrier_cycles_do_not_hang() {
+    // Many tiny spawn/wait cycles stress the event-count barrier's
+    // register-then-recheck protocol (each cycle parks and wakes workers).
+    let rt = Runtime::builder().workers(8).policy(Policy::Lqh).build();
+    let group = rt.create_group("cycles", 1.0);
+    let executions = Arc::new(AtomicUsize::new(0));
+    for cycle in 0..500usize {
+        for _ in 0..16 {
+            let counter = executions.clone();
+            rt.task(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .significance(1.0)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        assert_eq!(executions.load(Ordering::Relaxed), (cycle + 1) * 16);
+    }
+}

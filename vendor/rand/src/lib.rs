@@ -1,0 +1,171 @@
+//! Vendored std-only stand-in for the `rand` crate.
+//!
+//! The workspace uses a small, deterministic slice of the rand API —
+//! `StdRng::seed_from_u64` plus `Rng::gen_range` over `f64` and `usize`
+//! ranges — to generate reproducible benchmark inputs. The build environment
+//! has no access to crates.io, so that slice is implemented here on top of
+//! xoshiro256++ (public-domain algorithm by Blackman & Vigna) seeded via
+//! SplitMix64, matching the real crate's call-site syntax exactly.
+//!
+//! The streams differ from the real `rand::StdRng` (which is ChaCha-based);
+//! every consumer in this workspace only relies on determinism per seed, not
+//! on a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling extension trait, mirroring `rand::Rng::gen_range`.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        // 2^-53 end bias is irrelevant for the workspace's input generation.
+        start + unit_f64(rng.next_u64()) * (end - start)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> usize {
+        let span = self
+            .end
+            .checked_sub(self.start)
+            .filter(|&s| s > 0)
+            .expect("cannot sample empty range");
+        // Modulo bias is < 2^-50 for the small spans used here.
+        self.start + (rng.next_u64() % span as u64) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> u64 {
+        let span = self
+            .end
+            .checked_sub(self.start)
+            .filter(|&s| s > 0)
+            .expect("cannot sample empty range");
+        self.start + rng.next_u64() % span
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [ref mut s0, ref mut s1, ref mut s2, ref mut s3] = self.state;
+            let result = s0.wrapping_add(*s3).rotate_left(23).wrapping_add(*s0);
+            let t = *s1 << 17;
+            *s2 ^= *s0;
+            *s3 ^= *s1;
+            *s1 ^= *s2;
+            *s0 ^= *s3;
+            *s2 ^= t;
+            *s3 = s3.rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<f64> = (0..16).map(|_| a.gen_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..16).map(|_| b.gen_range(0.0..1.0)).collect();
+        let vc: Vec<f64> = (0..16).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-4.0..4.0);
+            assert!((-4.0..4.0).contains(&f));
+            let i = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&i));
+            let g = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn spread_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean: f64 = (0..10_000).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from uniform");
+    }
+}

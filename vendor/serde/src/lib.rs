@@ -1,0 +1,7 @@
+//! Vendored stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize};` + `#[derive(Serialize, Deserialize)]` compile unchanged. See
+//! `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
