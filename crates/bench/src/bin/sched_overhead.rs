@@ -403,6 +403,25 @@ fn main() {
     let speedup = agnostic / baseline;
     eprintln!("  speedup (agnostic vs mutex baseline): {speedup:.2}x");
 
+    // Worker-count scaling curve for the lock-free agnostic configuration.
+    let scaling: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| {
+            let throughput = best_throughput(tasks, reps, || {
+                bench_runtime(w, tasks, Policy::SignificanceAgnostic)
+            });
+            eprintln!("  lock-free @ {w} workers: {throughput:>12.0} tasks/s");
+            (w, throughput)
+        })
+        .collect();
+    let scaling_json = scaling
+        .iter()
+        .map(|(w, t)| {
+            format!("    {{ \"workers\": {w}, \"lockfree_agnostic_tasks_per_sec\": {t:.0} }}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         "{{\n  \"benchmark\": \"sched_overhead\",\n  \"description\": \"spawn+execute+taskwait \
          throughput for empty-body tasks (pure scheduler overhead)\",\n  \"workers\": {workers},\n  \
@@ -411,7 +430,12 @@ fn main() {
          \"lockfree_agnostic_tasks_per_sec\": {agnostic:.0},\n  \
          \"lockfree_gtb32_tasks_per_sec\": {gtb:.0},\n  \
          \"lockfree_lqh_tasks_per_sec\": {lqh:.0},\n  \
-         \"speedup_agnostic_vs_baseline\": {speedup:.2}\n}}\n",
+         \"speedup_agnostic_vs_baseline\": {speedup:.2},\n  \
+         \"scaling\": [\n{scaling_json}\n  ],\n  \
+         \"metadata\": {{\n    \"note\": \"produced inside a {cores}-core container: worker \
+         counts beyond the physical core count measure scheduler overhead under \
+         oversubscription, not parallel speedup; regenerate on a many-core host for a true \
+         scaling curve\"\n  }}\n}}\n",
         cores = std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
     if config.write_out {

@@ -14,12 +14,27 @@
 //!
 //! Keys are opaque [`DepKey`] values; convenience constructors derive them
 //! from names or from the address of the data they stand for.
+//!
+//! # Sharding
+//!
+//! The tracker used to be one `Mutex<HashMap<..>>`, which made it the last
+//! mutex on the spawn path and serialised every footprint-carrying spawn.
+//! It is now split into [`SHARDS`] independently locked shards selected by a
+//! multiplicative hash of the key, so spawns with disjoint footprints
+//! proceed in parallel. A registration locks **all** shards its footprint
+//! touches, in ascending shard order: taking them one key at a time would
+//! let two concurrent multi-key writers order differently per key and wire a
+//! dependence *cycle* (task A waits on B via one key, B on A via another),
+//! deadlocking both. Ordered whole-footprint acquisition keeps each task's
+//! registration atomic, exactly like the old global lock, while unrelated
+//! keys never contend.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::sync::CachePadded;
 use crate::task::Task;
 
 /// An opaque dependence key identifying a piece of data (an array, a matrix
@@ -71,69 +86,115 @@ struct KeyState {
     readers_since_write: Vec<Arc<Task>>,
 }
 
-/// Tracks dependences and the number of outstanding writers per key (the
-/// latter supports `taskwait on(...)`).
+/// Number of independently locked tracker shards (must be a power of two:
+/// `shard_of` selects by the top `log2(SHARDS)` bits of the mixed key).
+const SHARDS: usize = 16;
+const _: () = assert!(SHARDS.is_power_of_two());
+
+/// The shard a key lives in. Fibonacci-multiplicative mix of the raw key:
+/// address-derived keys share alignment in their low bits, so the top bits
+/// of the product distribute far better than `raw % SHARDS` would.
+fn shard_of(key: DepKey) -> usize {
+    let shift = u64::BITS - SHARDS.trailing_zeros();
+    (key.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+}
+
+/// One shard's last-writer/reader-set tables.
 #[derive(Default)]
-pub(crate) struct DependenceTracker {
+struct TrackerShard {
     keys: HashMap<DepKey, KeyState>,
     outstanding_writes: HashMap<DepKey, usize>,
 }
 
-impl DependenceTracker {
-    pub(crate) fn new() -> Self {
-        DependenceTracker::default()
+impl TrackerShard {
+    fn register_read(&mut self, task: &Arc<Task>, key: DepKey, preds: &mut Vec<Arc<Task>>) {
+        // RAW on the last writer, then join the reader set.
+        let state = self.keys.entry(key).or_default();
+        if let Some(writer) = &state.last_writer {
+            push_pred(task, preds, writer);
+        }
+        if !state.readers_since_write.iter().any(|r| r.id == task.id) {
+            state.readers_since_write.push(task.clone());
+        }
     }
 
-    /// Register a task's footprint and return its predecessors (deduplicated).
-    ///
-    /// Must be called in program (spawn) order — the caller serialises this
-    /// through the runtime's spawn path.
+    fn register_write(&mut self, task: &Arc<Task>, key: DepKey, preds: &mut Vec<Arc<Task>>) {
+        // WAW on the last writer, WAR on all readers since that write, then
+        // become the new last writer with an empty reader set.
+        let state = self.keys.entry(key).or_default();
+        if let Some(writer) = &state.last_writer {
+            push_pred(task, preds, writer);
+        }
+        for reader in &state.readers_since_write {
+            push_pred(task, preds, reader);
+        }
+        state.last_writer = Some(task.clone());
+        state.readers_since_write.clear();
+        *self.outstanding_writes.entry(key).or_insert(0) += 1;
+    }
+}
+
+fn push_pred(task: &Arc<Task>, preds: &mut Vec<Arc<Task>>, candidate: &Arc<Task>) {
+    if candidate.id != task.id && !preds.iter().any(|p| p.id == candidate.id) {
+        preds.push(candidate.clone());
+    }
+}
+
+/// Tracks dependences and the number of outstanding writers per key (the
+/// latter supports `taskwait on(...)`), sharded by key hash so spawns with
+/// disjoint footprints do not serialise on one lock.
+pub(crate) struct DependenceTracker {
+    shards: Box<[CachePadded<Mutex<TrackerShard>>]>,
+}
+
+impl DependenceTracker {
+    pub(crate) fn new() -> Self {
+        DependenceTracker {
+            shards: (0..SHARDS)
+                .map(|_| CachePadded::new(Mutex::new(TrackerShard::default())))
+                .collect(),
+        }
+    }
+
+    /// Register a task's footprint and return its predecessors
+    /// (deduplicated). Atomic across the whole footprint: all shards the
+    /// footprint touches are locked (in ascending order, see the module
+    /// docs) before any key is registered.
     pub(crate) fn register(
-        &mut self,
+        &self,
         task: &Arc<Task>,
         in_keys: &[DepKey],
         out_keys: &[DepKey],
     ) -> Vec<Arc<Task>> {
+        let mut needed = [false; SHARDS];
+        for key in in_keys.iter().chain(out_keys.iter()) {
+            needed[shard_of(*key)] = true;
+        }
+        let mut guards: [Option<MutexGuard<'_, TrackerShard>>; SHARDS] =
+            std::array::from_fn(|_| None);
+        for (index, guard) in guards.iter_mut().enumerate() {
+            if needed[index] {
+                *guard = Some(self.shards[index].lock().unwrap());
+            }
+        }
+
         let mut preds: Vec<Arc<Task>> = Vec::new();
-        let push_pred = |preds: &mut Vec<Arc<Task>>, candidate: &Arc<Task>| {
-            if candidate.id != task.id && !preds.iter().any(|p| p.id == candidate.id) {
-                preds.push(candidate.clone());
-            }
-        };
-
-        // Reads: RAW on the last writer, then join the reader set.
         for key in in_keys {
-            let state = self.keys.entry(*key).or_default();
-            if let Some(writer) = &state.last_writer {
-                push_pred(&mut preds, writer);
-            }
-            if !state.readers_since_write.iter().any(|r| r.id == task.id) {
-                state.readers_since_write.push(task.clone());
-            }
+            let shard = guards[shard_of(*key)].as_mut().expect("shard locked");
+            shard.register_read(task, *key, &mut preds);
         }
-
-        // Writes: WAW on the last writer, WAR on all readers since that write,
-        // then become the new last writer with an empty reader set.
         for key in out_keys {
-            let state = self.keys.entry(*key).or_default();
-            if let Some(writer) = &state.last_writer {
-                push_pred(&mut preds, writer);
-            }
-            for reader in &state.readers_since_write {
-                push_pred(&mut preds, reader);
-            }
-            state.last_writer = Some(task.clone());
-            state.readers_since_write.clear();
-            *self.outstanding_writes.entry(*key).or_insert(0) += 1;
+            let shard = guards[shard_of(*key)].as_mut().expect("shard locked");
+            shard.register_write(task, *key, &mut preds);
         }
-
         preds
     }
 
     /// Record the completion of a task that had the given output keys.
-    pub(crate) fn complete_writes(&mut self, out_keys: &[DepKey]) {
+    pub(crate) fn complete_writes(&self, out_keys: &[DepKey]) {
         for key in out_keys {
-            if let Some(count) = self.outstanding_writes.get_mut(key) {
+            let mut shard = self.shards[shard_of(*key)].lock().unwrap();
+            if let Some(count) = shard.outstanding_writes.get_mut(key) {
                 *count = count.saturating_sub(1);
             }
         }
@@ -141,7 +202,13 @@ impl DependenceTracker {
 
     /// Number of not-yet-completed tasks that write the given key.
     pub(crate) fn outstanding_writes(&self, key: DepKey) -> usize {
-        self.outstanding_writes.get(&key).copied().unwrap_or(0)
+        self.shards[shard_of(key)]
+            .lock()
+            .unwrap()
+            .outstanding_writes
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -184,7 +251,7 @@ mod tests {
 
     #[test]
     fn raw_dependency_reader_after_writer() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let key = DepKey::named("x");
         let writer = task(0, vec![key]);
         let reader = task(1, vec![]);
@@ -196,7 +263,7 @@ mod tests {
 
     #[test]
     fn independent_readers_have_no_mutual_dependency() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let key = DepKey::named("x");
         let writer = task(0, vec![key]);
         tracker.register(&writer, &[], &[key]);
@@ -210,7 +277,7 @@ mod tests {
 
     #[test]
     fn writer_after_readers_gets_war_dependencies() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let key = DepKey::named("x");
         let w0 = task(0, vec![key]);
         tracker.register(&w0, &[], &[key]);
@@ -226,7 +293,7 @@ mod tests {
 
     #[test]
     fn writer_after_writer_waw() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let key = DepKey::named("x");
         let w0 = task(0, vec![key]);
         let w1 = task(1, vec![key]);
@@ -238,7 +305,7 @@ mod tests {
 
     #[test]
     fn inout_task_self_dependency_is_ignored() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let key = DepKey::named("x");
         let t = task(0, vec![key]);
         // Task both reads and writes the same key: it must not depend on
@@ -249,7 +316,7 @@ mod tests {
 
     #[test]
     fn predecessors_are_deduplicated() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let k1 = DepKey::named("a");
         let k2 = DepKey::named("b");
         let w = task(0, vec![k1, k2]);
@@ -261,7 +328,7 @@ mod tests {
 
     #[test]
     fn disjoint_keys_are_independent() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let w0 = task(0, vec![DepKey::named("a")]);
         let w1 = task(1, vec![DepKey::named("b")]);
         tracker.register(&w0, &[], &[DepKey::named("a")]);
@@ -271,7 +338,7 @@ mod tests {
 
     #[test]
     fn outstanding_write_counting() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let key = DepKey::named("res");
         let w0 = task(0, vec![key]);
         let w1 = task(1, vec![key]);
@@ -289,8 +356,74 @@ mod tests {
     }
 
     #[test]
+    fn shard_selection_is_stable_and_in_range() {
+        for i in 0..1000u64 {
+            let key = DepKey::from_raw(i.wrapping_mul(64)); // address-like alignment
+            let s = shard_of(key);
+            assert!(s < SHARDS);
+            assert_eq!(s, shard_of(key));
+        }
+        // Aligned (address-style) keys must not all collapse into one shard.
+        let mut used = [false; SHARDS];
+        for i in 0..256u64 {
+            used[shard_of(DepKey::from_raw(0x7f00_0000_0000 + i * 64))] = true;
+        }
+        assert!(used.iter().filter(|&&u| u).count() > SHARDS / 2);
+    }
+
+    #[test]
+    fn cross_shard_footprint_is_registered_atomically() {
+        // A footprint spanning many shards must produce exactly the same
+        // dependences as the old single-lock tracker.
+        let tracker = DependenceTracker::new();
+        let keys: Vec<DepKey> = (0..64).map(|i| DepKey::from_raw(i * 997)).collect();
+        let writer = task(0, keys.clone());
+        assert!(tracker.register(&writer, &[], &keys).is_empty());
+        let reader = task(1, vec![]);
+        let preds = tracker.register(&reader, &keys, &[]);
+        assert_eq!(preds.len(), 1, "one deduplicated predecessor across shards");
+        assert_eq!(preds[0].id, writer.id);
+        for key in &keys {
+            assert_eq!(tracker.outstanding_writes(*key), 1);
+        }
+        tracker.complete_writes(&keys);
+        for key in &keys {
+            assert_eq!(tracker.outstanding_writes(*key), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_registrations_do_not_interfere() {
+        let tracker = Arc::new(DependenceTracker::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|thread| {
+                let tracker = tracker.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let key = DepKey::from_raw(thread * 100_000 + i);
+                        let t = task(thread * 1_000_000 + i, vec![key]);
+                        let preds = tracker.register(&t, &[], &[key]);
+                        assert!(preds.is_empty(), "disjoint keys have no predecessors");
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        for thread in 0..4u64 {
+            for i in 0..200u64 {
+                assert_eq!(
+                    tracker.outstanding_writes(DepKey::from_raw(thread * 100_000 + i)),
+                    1
+                );
+            }
+        }
+    }
+
+    #[test]
     fn chain_of_writers_orders_linearly() {
-        let mut tracker = DependenceTracker::new();
+        let tracker = DependenceTracker::new();
         let key = DepKey::named("x");
         let tasks: Vec<_> = (0..5).map(|i| task(i, vec![key])).collect();
         let mut pred_counts = Vec::new();

@@ -1,0 +1,590 @@
+//! Execution environment: per-worker DVFS frequency domains and energy
+//! accounting.
+//!
+//! Section 6 of the paper names "DVFS in conjunction with suitable runtime
+//! policies for executing approximate (and more light-weight) task versions
+//! on the slower but also less power-hungry CPUs" as the natural next step
+//! for significance-aware execution. This module is that step, in modelled
+//! form: every worker owns a **frequency domain** (a
+//! [`FrequencyScale`]) and an energy-accounting shard, and a pluggable
+//! [`Governor`] maps each task's significance/policy decision to a frequency
+//! step at dispatch time. Approximate tasks can thus execute under a lower
+//! modelled frequency; their measured runtime is dilated and their dynamic
+//! energy scaled through the `P ∝ f·V²` model of
+//! [`FrequencyScale::apply`].
+//!
+//! # Hot-path discipline
+//!
+//! Executing a ready task must stay **mutex-free**, so all accounting here is
+//! per-worker atomics on worker-private cache lines ([`CachePadded`]), folded
+//! only when [`EnergyReport`] is built. The governor itself is an immutable
+//! `Arc<dyn Governor>`; the default [`NominalGovernor`] short-circuits before
+//! the virtual call. Scaled dispatches cache the last
+//! `(frequency ratio → active watts)` pair per worker so the `powf` of the
+//! power model is paid once per frequency *change*, not once per task.
+//!
+//! # Accounting model
+//!
+//! Per executed task the environment records the measured busy time, the
+//! *modelled* busy time (measured × time dilation of the chosen frequency)
+//! and the modelled dynamic energy (modelled busy × frequency-scaled active
+//! watts). [`EnergyReport::reading`] combines these with the static and idle
+//! terms of the [`PowerModel`], integrating them over a modelled makespan
+//! that assumes the dilation is load-balanced across workers:
+//! `wall + (modelled busy − measured busy) / workers`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sig_energy::{EnergyBreakdown, EnergyReading, FrequencyScale, PowerModel};
+
+use crate::policy::Policy;
+use crate::significance::Significance;
+use crate::sync::CachePadded;
+use crate::task::ExecutionMode;
+
+/// Everything a [`Governor`] may consult when choosing the frequency step
+/// for a task that is about to execute.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchContext {
+    /// The task's significance.
+    pub significance: Significance,
+    /// The accuracy decision the policy made for this task: `true` means the
+    /// accurate body will run, `false` means the approximate body (or a drop,
+    /// if the task has no `approxfun`).
+    pub accurate: bool,
+    /// The runtime's execution policy.
+    pub policy: Policy,
+    /// The current accurate-task ratio of the task's group.
+    pub group_ratio: f64,
+}
+
+/// Maps a task's significance/policy decision to a frequency step at
+/// dispatch time.
+///
+/// Implementations must be cheap and side-effect free: the method is called
+/// on the worker hot path, once per executed task.
+pub trait Governor: Send + Sync {
+    /// The frequency the dispatched task should (modelled-)execute at.
+    fn frequency_for(&self, ctx: &DispatchContext) -> FrequencyScale;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+
+    /// Whether this governor always answers nominal frequency. The
+    /// environment uses this to skip dispatch bookkeeping entirely.
+    fn is_passthrough(&self) -> bool {
+        false
+    }
+}
+
+/// The default governor: every task runs at nominal frequency. Equivalent to
+/// the pre-DVFS runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NominalGovernor;
+
+impl Governor for NominalGovernor {
+    fn frequency_for(&self, _ctx: &DispatchContext) -> FrequencyScale {
+        FrequencyScale::nominal()
+    }
+
+    fn name(&self) -> &'static str {
+        "nominal"
+    }
+
+    fn is_passthrough(&self) -> bool {
+        true
+    }
+}
+
+/// Two-rail governor: accurate tasks at nominal frequency, approximate (and
+/// dropped) tasks at one fixed lower step — the paper's future-work scenario
+/// in its simplest form.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxGovernor {
+    approximate: FrequencyScale,
+}
+
+impl ApproxGovernor {
+    /// Run approximate tasks at the given frequency ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`FrequencyScale::new`]) if `ratio` is outside `(0, 1.5]`.
+    pub fn new(ratio: f64) -> Self {
+        ApproxGovernor {
+            approximate: FrequencyScale::new(ratio),
+        }
+    }
+
+    /// The frequency applied to approximate tasks.
+    pub fn approximate_scale(&self) -> FrequencyScale {
+        self.approximate
+    }
+}
+
+impl Governor for ApproxGovernor {
+    fn frequency_for(&self, ctx: &DispatchContext) -> FrequencyScale {
+        if ctx.accurate {
+            FrequencyScale::nominal()
+        } else {
+            self.approximate
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "approx-step"
+    }
+}
+
+/// Ladder governor: accurate tasks at nominal frequency; approximate tasks
+/// descend a P-state-style frequency ladder with falling significance, so
+/// the least significant work runs at the lowest modelled frequency.
+#[derive(Debug, Clone)]
+pub struct SignificanceLadderGovernor {
+    steps: Vec<FrequencyScale>,
+}
+
+impl SignificanceLadderGovernor {
+    /// Build from an explicit ladder, highest frequency first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty.
+    pub fn new(steps: Vec<FrequencyScale>) -> Self {
+        assert!(
+            !steps.is_empty(),
+            "a ladder governor needs at least one step"
+        );
+        SignificanceLadderGovernor { steps }
+    }
+
+    /// Build from an evenly spaced ladder of `steps` settings down to
+    /// `floor` (see [`FrequencyScale::ladder`]).
+    pub fn with_ladder(steps: usize, floor: f64) -> Self {
+        SignificanceLadderGovernor::new(FrequencyScale::ladder(steps, floor))
+    }
+}
+
+impl Governor for SignificanceLadderGovernor {
+    fn frequency_for(&self, ctx: &DispatchContext) -> FrequencyScale {
+        if ctx.accurate {
+            return FrequencyScale::nominal();
+        }
+        let last = self.steps.len() - 1;
+        let rung = ((1.0 - ctx.significance.value()) * last as f64).round() as usize;
+        self.steps[rung.min(last)]
+    }
+
+    fn name(&self) -> &'static str {
+        "significance-ladder"
+    }
+}
+
+const MODES: usize = 3;
+
+fn mode_index(mode: ExecutionMode) -> usize {
+    match mode {
+        ExecutionMode::Accurate => 0,
+        ExecutionMode::Approximate => 1,
+        ExecutionMode::Dropped => 2,
+    }
+}
+
+/// One worker's frequency domain and energy counters.
+struct EnvShard {
+    /// Measured busy nanoseconds (wall-clock spent in task bodies).
+    real_busy_nanos: AtomicU64,
+    /// Modelled busy nanoseconds (measured × time dilation), per mode.
+    modelled_busy_nanos: [AtomicU64; MODES],
+    /// Modelled dynamic energy in nanojoules.
+    dynamic_nanojoules: AtomicU64,
+    /// Tasks dispatched below nominal frequency.
+    scaled_tasks: AtomicU64,
+    /// Frequency-domain switches (a real DVFS implementation would pay a
+    /// transition latency here).
+    transitions: AtomicU64,
+    /// Current frequency ratio of this worker's domain, as `f64` bits.
+    domain_bits: AtomicU64,
+    /// Cache of the last non-nominal `(ratio bits, active watts bits)` so
+    /// the `powf` in the power model runs per frequency change, not per task.
+    cached_ratio_bits: AtomicU64,
+    cached_watts_bits: AtomicU64,
+}
+
+impl EnvShard {
+    fn new() -> Self {
+        EnvShard {
+            real_busy_nanos: AtomicU64::new(0),
+            modelled_busy_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            dynamic_nanojoules: AtomicU64::new(0),
+            scaled_tasks: AtomicU64::new(0),
+            transitions: AtomicU64::new(0),
+            domain_bits: AtomicU64::new(1.0f64.to_bits()),
+            cached_ratio_bits: AtomicU64::new(1.0f64.to_bits()),
+            cached_watts_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The runtime's execution environment: power model, governor and the
+/// per-worker frequency/energy shards.
+pub(crate) struct ExecutionEnv {
+    model: PowerModel,
+    governor: Arc<dyn Governor>,
+    /// `true` iff the governor always answers nominal — lets dispatch skip
+    /// the virtual call and all domain bookkeeping.
+    passthrough: bool,
+    nominal_watts: f64,
+    shards: Box<[CachePadded<EnvShard>]>,
+}
+
+impl ExecutionEnv {
+    /// `shards` should be the worker count: dispatch/record only ever run on
+    /// worker threads (the spawn path never executes bodies). Out-of-range
+    /// worker indices clamp to the last shard defensively.
+    pub(crate) fn new(model: PowerModel, governor: Arc<dyn Governor>, shards: usize) -> Self {
+        ExecutionEnv {
+            nominal_watts: model.active_watts_per_core,
+            passthrough: governor.is_passthrough(),
+            model,
+            governor,
+            shards: (0..shards.max(1))
+                .map(|_| CachePadded::new(EnvShard::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, worker: usize) -> &EnvShard {
+        &self.shards[worker.min(self.shards.len() - 1)]
+    }
+
+    /// Choose the frequency for a task about to execute on `worker` and
+    /// update the worker's frequency domain. Lock-free; one relaxed
+    /// load/store pair when the frequency is unchanged.
+    pub(crate) fn dispatch(&self, worker: usize, ctx: &DispatchContext) -> FrequencyScale {
+        if self.passthrough {
+            return FrequencyScale::nominal();
+        }
+        let scale = self.governor.frequency_for(ctx);
+        let shard = self.shard(worker);
+        let bits = scale.ratio().to_bits();
+        if shard.domain_bits.load(Ordering::Relaxed) != bits {
+            shard.domain_bits.store(bits, Ordering::Relaxed);
+            shard.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+        scale
+    }
+
+    /// Active watts at `scale`, served from the shard-local cache (single
+    /// writer: the owning worker).
+    fn scaled_watts(&self, shard: &EnvShard, scale: FrequencyScale) -> f64 {
+        let bits = scale.ratio().to_bits();
+        if shard.cached_ratio_bits.load(Ordering::Relaxed) == bits {
+            let cached = shard.cached_watts_bits.load(Ordering::Relaxed);
+            if cached != 0 {
+                return f64::from_bits(cached);
+            }
+        }
+        let watts = scale.scaled_active_watts(&self.model);
+        shard.cached_ratio_bits.store(bits, Ordering::Relaxed);
+        shard
+            .cached_watts_bits
+            .store(watts.to_bits(), Ordering::Relaxed);
+        watts
+    }
+
+    /// Account one executed task: `busy` measured wall-time in the body,
+    /// dilated and priced at the frequency chosen at dispatch.
+    pub(crate) fn record(
+        &self,
+        worker: usize,
+        mode: ExecutionMode,
+        busy: Duration,
+        scale: FrequencyScale,
+    ) {
+        let shard = self.shard(worker);
+        let real_nanos = busy.as_nanos().min(u64::MAX as u128) as u64;
+        shard
+            .real_busy_nanos
+            .fetch_add(real_nanos, Ordering::Relaxed);
+        let (modelled_nanos, joules) = if scale.is_nominal() {
+            (real_nanos, real_nanos as f64 * 1e-9 * self.nominal_watts)
+        } else {
+            shard.scaled_tasks.fetch_add(1, Ordering::Relaxed);
+            let modelled = (real_nanos as f64 * scale.time_dilation()) as u64;
+            let watts = self.scaled_watts(shard, scale);
+            (modelled, modelled as f64 * 1e-9 * watts)
+        };
+        shard.modelled_busy_nanos[mode_index(mode)].fetch_add(modelled_nanos, Ordering::Relaxed);
+        shard
+            .dynamic_nanojoules
+            .fetch_add((joules * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// The power model the environment prices energy with.
+    pub(crate) fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Fold the shards into an immutable report. `wall_seconds` is the
+    /// measured makespan; `workers` the worker-thread count the dilation is
+    /// spread over.
+    pub(crate) fn report(&self, wall_seconds: f64, workers: usize) -> EnergyReport {
+        let per_worker: Vec<WorkerEnergy> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let modelled: [f64; MODES] = std::array::from_fn(|m| {
+                    shard.modelled_busy_nanos[m].load(Ordering::Relaxed) as f64 * 1e-9
+                });
+                WorkerEnergy {
+                    worker: index,
+                    busy_seconds: shard.real_busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                    modelled_busy_seconds: modelled.iter().sum(),
+                    accurate_busy_seconds: modelled[0],
+                    approximate_busy_seconds: modelled[1],
+                    dynamic_joules: shard.dynamic_nanojoules.load(Ordering::Relaxed) as f64 * 1e-9,
+                    scaled_tasks: shard.scaled_tasks.load(Ordering::Relaxed),
+                    frequency_transitions: shard.transitions.load(Ordering::Relaxed),
+                    frequency_ratio: f64::from_bits(shard.domain_bits.load(Ordering::Relaxed)),
+                }
+            })
+            .collect();
+        EnergyReport {
+            model: self.model,
+            governor: self.governor.name().to_string(),
+            wall_seconds,
+            worker_count: workers.max(1),
+            workers: per_worker,
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecutionEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionEnv")
+            .field("governor", &self.governor.name())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// One worker's contribution to an [`EnergyReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerEnergy {
+    /// Worker index.
+    pub worker: usize,
+    /// Measured wall-clock seconds spent executing task bodies.
+    pub busy_seconds: f64,
+    /// Busy seconds after DVFS time dilation (equals `busy_seconds` for
+    /// tasks dispatched at nominal frequency).
+    pub modelled_busy_seconds: f64,
+    /// Modelled busy seconds spent in accurate bodies.
+    pub accurate_busy_seconds: f64,
+    /// Modelled busy seconds spent in approximate bodies.
+    pub approximate_busy_seconds: f64,
+    /// Modelled dynamic (active-core) energy in joules.
+    pub dynamic_joules: f64,
+    /// Tasks dispatched below nominal frequency.
+    pub scaled_tasks: u64,
+    /// Number of frequency-domain switches.
+    pub frequency_transitions: u64,
+    /// Current frequency ratio of the worker's domain.
+    pub frequency_ratio: f64,
+}
+
+/// Immutable snapshot of the runtime's energy accounting, built from the
+/// per-worker shards by [`crate::Runtime::energy_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    /// The power model the dynamic joules were priced with.
+    pub model: PowerModel,
+    /// Name of the governor that made the frequency decisions.
+    pub governor: String,
+    /// Measured wall-clock seconds since the runtime started.
+    pub wall_seconds: f64,
+    /// Worker threads the dilation is assumed to spread over.
+    pub worker_count: usize,
+    /// Per-worker accounting shards, one per worker thread.
+    pub workers: Vec<WorkerEnergy>,
+}
+
+impl EnergyReport {
+    /// Total measured busy core-seconds across workers.
+    pub fn busy_seconds(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_seconds).sum()
+    }
+
+    /// Total modelled (dilated) busy core-seconds across workers.
+    pub fn modelled_busy_seconds(&self) -> f64 {
+        self.workers.iter().map(|w| w.modelled_busy_seconds).sum()
+    }
+
+    /// Total modelled dynamic energy in joules.
+    pub fn dynamic_joules(&self) -> f64 {
+        self.workers.iter().map(|w| w.dynamic_joules).sum()
+    }
+
+    /// Total tasks dispatched below nominal frequency.
+    pub fn scaled_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.scaled_tasks).sum()
+    }
+
+    /// The makespan the model integrates static power over: the measured
+    /// wall time plus the DVFS dilation, assumed load-balanced across the
+    /// workers. Never smaller than the measured wall time.
+    pub fn modelled_wall_seconds(&self) -> f64 {
+        let extra = (self.modelled_busy_seconds() - self.busy_seconds()).max(0.0);
+        self.wall_seconds + extra / self.worker_count as f64
+    }
+
+    /// Collapse the report into the workspace-wide [`EnergyReading`] type:
+    /// dynamic joules from the per-task accounting, static and idle joules
+    /// from the power model integrated over the modelled makespan.
+    pub fn reading(&self) -> EnergyReading {
+        let wall = self.modelled_wall_seconds();
+        let busy = self.modelled_busy_seconds();
+        let capacity = self.model.total_cores() as f64 * wall;
+        let clamped_busy = busy.min(capacity);
+        let base = self.model.energy_breakdown(wall, clamped_busy);
+        let breakdown = EnergyBreakdown {
+            dynamic_joules: self.dynamic_joules(),
+            ..base
+        };
+        EnergyReading::from_breakdown(wall, clamped_busy, breakdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(significance: f64, accurate: bool) -> DispatchContext {
+        DispatchContext {
+            significance: Significance::new(significance),
+            accurate,
+            policy: Policy::GtbMaxBuffer,
+            group_ratio: 0.5,
+        }
+    }
+
+    fn env(governor: Arc<dyn Governor>) -> ExecutionEnv {
+        ExecutionEnv::new(PowerModel::for_host(), governor, 3)
+    }
+
+    #[test]
+    fn nominal_governor_is_passthrough() {
+        let e = env(Arc::new(NominalGovernor));
+        let scale = e.dispatch(0, &ctx(0.2, false));
+        assert!(scale.is_nominal());
+        let report = e.report(1.0, 2);
+        assert_eq!(report.scaled_tasks(), 0);
+        assert_eq!(report.governor, "nominal");
+    }
+
+    #[test]
+    fn approx_governor_scales_only_approximate_tasks() {
+        let g = ApproxGovernor::new(0.5);
+        assert!(g.frequency_for(&ctx(0.9, true)).is_nominal());
+        assert_eq!(g.frequency_for(&ctx(0.9, false)).ratio(), 0.5);
+        assert_eq!(g.approximate_scale().ratio(), 0.5);
+    }
+
+    #[test]
+    fn ladder_governor_descends_with_significance() {
+        let g = SignificanceLadderGovernor::with_ladder(5, 0.5);
+        assert!(g.frequency_for(&ctx(0.3, true)).is_nominal());
+        let high = g.frequency_for(&ctx(0.9, false)).ratio();
+        let low = g.frequency_for(&ctx(0.1, false)).ratio();
+        assert!(high > low, "high-significance {high} vs low {low}");
+        assert_eq!(g.frequency_for(&ctx(0.0, false)).ratio(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_ladder_rejected() {
+        SignificanceLadderGovernor::new(Vec::new());
+    }
+
+    #[test]
+    fn record_accumulates_and_dilates() {
+        let e = env(Arc::new(ApproxGovernor::new(0.5)));
+        let scale = e.dispatch(0, &ctx(0.2, false));
+        e.record(0, ExecutionMode::Approximate, Duration::from_secs(1), scale);
+        let nominal = e.dispatch(1, &ctx(0.9, true));
+        e.record(1, ExecutionMode::Accurate, Duration::from_secs(1), nominal);
+        let report = e.report(2.0, 2);
+        assert!((report.busy_seconds() - 2.0).abs() < 1e-9);
+        // Worker 0 ran at half frequency: its busy second dilates to two.
+        assert!((report.modelled_busy_seconds() - 3.0).abs() < 1e-6);
+        assert!((report.workers[0].modelled_busy_seconds - 2.0).abs() < 1e-6);
+        assert!((report.workers[0].approximate_busy_seconds - 2.0).abs() < 1e-6);
+        assert_eq!(report.workers[0].scaled_tasks, 1);
+        assert_eq!(report.workers[1].scaled_tasks, 0);
+        // Dilation spreads over 2 workers: modelled wall grows by half the
+        // extra second.
+        assert!((report.modelled_wall_seconds() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_dynamic_energy_is_cheaper_per_work_unit() {
+        let slow = env(Arc::new(ApproxGovernor::new(0.5)));
+        let scale = slow.dispatch(0, &ctx(0.2, false));
+        slow.record(0, ExecutionMode::Approximate, Duration::from_secs(1), scale);
+        let fast = env(Arc::new(NominalGovernor));
+        fast.record(
+            0,
+            ExecutionMode::Accurate,
+            Duration::from_secs(1),
+            FrequencyScale::nominal(),
+        );
+        // Same measured work: the scaled run's dynamic energy must be lower
+        // (dynamic_energy_factor < 1 for the default exponent).
+        let e_slow = slow.report(1.0, 1).dynamic_joules();
+        let e_fast = fast.report(1.0, 1).dynamic_joules();
+        assert!(e_slow < e_fast, "scaled {e_slow} J vs nominal {e_fast} J");
+    }
+
+    #[test]
+    fn domain_transitions_are_counted_per_change() {
+        let e = env(Arc::new(ApproxGovernor::new(0.6)));
+        for _ in 0..3 {
+            e.dispatch(0, &ctx(0.2, false));
+        }
+        e.dispatch(0, &ctx(0.9, true));
+        e.dispatch(0, &ctx(0.2, false));
+        let report = e.report(1.0, 1);
+        // nominal→0.6, 0.6→nominal, nominal→0.6: three switches.
+        assert_eq!(report.workers[0].frequency_transitions, 3);
+        assert_eq!(report.workers[0].frequency_ratio, 0.6);
+    }
+
+    #[test]
+    fn reading_combines_static_idle_and_scaled_dynamic() {
+        let model = PowerModel {
+            sockets: 1,
+            cores_per_socket: 2,
+            static_watts_per_socket: 10.0,
+            active_watts_per_core: 4.0,
+            idle_watts_per_core: 1.0,
+        };
+        let e = ExecutionEnv::new(model, Arc::new(NominalGovernor), 2);
+        e.record(
+            0,
+            ExecutionMode::Accurate,
+            Duration::from_secs(1),
+            FrequencyScale::nominal(),
+        );
+        let report = e.report(1.0, 2);
+        let reading = report.reading();
+        // static 10 + dynamic 1*4 + idle (2-1)*1 = 15 J over 1 s.
+        assert!((reading.joules - 15.0).abs() < 1e-6, "{reading:?}");
+        assert!((reading.breakdown.dynamic_joules - 4.0).abs() < 1e-6);
+        assert!((reading.average_watts - 15.0).abs() < 1e-6);
+    }
+}

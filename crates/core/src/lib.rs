@@ -54,6 +54,7 @@
 
 pub mod deps;
 mod deque;
+pub mod env;
 pub mod group;
 mod macros;
 pub mod policy;
@@ -65,6 +66,10 @@ mod sync;
 pub mod task;
 
 pub use deps::DepKey;
+pub use env::{
+    ApproxGovernor, DispatchContext, EnergyReport, Governor, NominalGovernor,
+    SignificanceLadderGovernor, WorkerEnergy,
+};
 pub use group::{GroupId, TaskGroup};
 pub use policy::Policy;
 pub use runtime::{Runtime, RuntimeBuilder, TaskBuilder};
@@ -73,9 +78,14 @@ pub use significance::{Significance, SignificanceLevel, NUM_LEVELS};
 pub use stats::{GroupStatsSnapshot, RuntimeStats};
 pub use task::{ExecutionMode, TaskId};
 
+// Re-exported so downstream crates that only depend on `sig-core` can name
+// the energy types the execution environment is built from.
+pub use sig_energy::{EnergyBreakdown, EnergyReading, FrequencyScale, PowerModel};
+
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::deps::DepKey;
+    pub use crate::env::{ApproxGovernor, Governor, SignificanceLadderGovernor};
     pub use crate::group::TaskGroup;
     pub use crate::policy::Policy;
     pub use crate::runtime::{Runtime, RuntimeBuilder};
@@ -83,4 +93,5 @@ pub mod prelude {
     pub use crate::significance::Significance;
     pub use crate::task::ExecutionMode;
     pub use crate::{task, taskwait};
+    pub use sig_energy::FrequencyScale;
 }

@@ -79,35 +79,68 @@ impl Policy {
 
 /// Decide the execution modes for one GTB buffer flush.
 ///
-/// `tasks` is a slice of `(significance, index)` pairs in spawn order; the
-/// returned vector holds `true` (accurate) or `false` (approximate) per input
+/// `tasks` holds the buffered significances in spawn order; the returned
+/// vector holds `true` (accurate) or `false` (approximate) per input
 /// position. The `R_g · B` most significant tasks are marked accurate
-/// (Listing 4 of the paper), with the paper's special values honoured on top:
-/// significance `1.0` is always accurate and `0.0` never is.
+/// (Listing 4 of the paper), with the paper's special values honoured on
+/// top: significance `1.0` is always accurate and `0.0` never is.
+///
+/// Selection runs as a **histogram scan over the runtime's 101 discrete
+/// significance levels** — O(n + levels) instead of the former O(n log n)
+/// sort, which matters for Max-Buffer flushes of whole groups. Ties resolve
+/// in spawn order at level granularity (the quantisation the paper's runtime
+/// itself works at, Section 3.4), so the result is deterministic.
 pub(crate) fn gtb_classify(tasks: &[Significance], ratio: f64) -> Vec<bool> {
     assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
     let n = tasks.len();
     if n == 0 {
         return Vec::new();
     }
-    // Sort indices by descending significance; stable so that equal
-    // significance resolves in spawn order (deterministic, like the paper's
-    // deterministic GTB behaviour noted in the K-means discussion).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| tasks[b].cmp(&tasks[a]).then(a.cmp(&b)));
-    let accurate_target = (ratio * n as f64).ceil() as usize;
-    let mut accurate = vec![false; n];
-    for (rank, &idx) in order.iter().enumerate() {
-        let sig = tasks[idx];
-        accurate[idx] = if sig.is_critical() {
-            true
-        } else if sig.is_negligible() {
-            false
-        } else {
-            rank < accurate_target
-        };
+    // Pass 1: per-level histogram of the ordinary tasks; special values are
+    // decided unconditionally and only criticals consume accurate slots.
+    let mut hist = [0usize; NUM_LEVELS];
+    let mut criticals = 0usize;
+    for sig in tasks {
+        if sig.is_critical() {
+            criticals += 1;
+        } else if !sig.is_negligible() {
+            hist[sig.level().index()] += 1;
+        }
     }
-    accurate
+    let accurate_target = (ratio * n as f64).ceil() as usize;
+    // Distribute the remaining accurate slots over the levels, most
+    // significant first. `quota[level]` is how many tasks of that level run
+    // accurately; only the boundary level ends up partially filled.
+    let mut quota = [0usize; NUM_LEVELS];
+    let mut remaining = accurate_target.saturating_sub(criticals);
+    for level in (0..NUM_LEVELS).rev() {
+        if remaining == 0 {
+            break;
+        }
+        let take = hist[level].min(remaining);
+        quota[level] = take;
+        remaining -= take;
+    }
+    // Pass 2: apply the per-level quotas in spawn order.
+    let mut taken = [0usize; NUM_LEVELS];
+    tasks
+        .iter()
+        .map(|sig| {
+            if sig.is_critical() {
+                true
+            } else if sig.is_negligible() {
+                false
+            } else {
+                let level = sig.level().index();
+                if taken[level] < quota[level] {
+                    taken[level] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        })
+        .collect()
 }
 
 /// Per-worker LQH state: one cumulative histogram per task group.

@@ -60,12 +60,15 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use sig_energy::PowerModel;
+
 use crate::deps::{DepKey, DependenceTracker};
 use crate::deque::QueueSet;
+use crate::env::{DispatchContext, EnergyReport, ExecutionEnv, Governor, NominalGovernor};
 use crate::group::{GroupId, GroupRegistry, GroupState, TaskGroup};
 use crate::policy::{gtb_classify, LqhState, Policy};
 use crate::significance::Significance;
@@ -84,11 +87,25 @@ thread_local! {
 }
 
 /// Builder for [`Runtime`] instances.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct RuntimeBuilder {
     workers: Option<usize>,
     policy: Policy,
     pin_hint: bool,
+    energy_model: Option<PowerModel>,
+    governor: Option<Arc<dyn Governor>>,
+}
+
+impl std::fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("workers", &self.workers)
+            .field("policy", &self.policy)
+            .field("pin_hint", &self.pin_hint)
+            .field("energy_model", &self.energy_model)
+            .field("governor", &self.governor.as_ref().map(|g| g.name()))
+            .finish()
+    }
 }
 
 impl RuntimeBuilder {
@@ -114,6 +131,27 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Power model used by the runtime's energy accounting (default:
+    /// [`PowerModel::for_host`]).
+    pub fn energy_model(mut self, model: PowerModel) -> Self {
+        self.energy_model = Some(model);
+        self
+    }
+
+    /// Frequency governor mapping each task's significance/policy decision
+    /// to a DVFS step at dispatch time (default: [`NominalGovernor`], i.e.
+    /// no frequency scaling).
+    pub fn governor(mut self, governor: impl Governor + 'static) -> Self {
+        self.governor = Some(Arc::new(governor));
+        self
+    }
+
+    /// [`RuntimeBuilder::governor`] for an already-shared governor.
+    pub fn governor_arc(mut self, governor: Arc<dyn Governor>) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
     /// Construct the runtime and start its worker threads.
     pub fn build(self) -> Runtime {
         let workers = self.workers.unwrap_or_else(|| {
@@ -121,7 +159,9 @@ impl RuntimeBuilder {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
-        Runtime::start(workers, self.policy)
+        let model = self.energy_model.unwrap_or_else(PowerModel::for_host);
+        let governor = self.governor.unwrap_or_else(|| Arc::new(NominalGovernor));
+        Runtime::start(workers, self.policy, model, governor)
     }
 }
 
@@ -134,8 +174,12 @@ struct RuntimeInner {
     /// The implicit global group, cached so unlabeled spawns skip the
     /// registry lock.
     global_group: Arc<GroupState>,
-    tracker: Mutex<DependenceTracker>,
+    tracker: DependenceTracker,
     stats: RuntimeStats,
+    /// Per-worker DVFS frequency domains and energy accounting shards.
+    env: ExecutionEnv,
+    /// Runtime creation time, the start of the energy-accounting window.
+    started: Instant,
     next_task_id: AtomicU64,
     /// Tasks spawned and not yet completed, across all groups. A single
     /// counter (not a sum over groups): `wait_all` must observe spawn and
@@ -191,31 +235,86 @@ impl RuntimeInner {
         }
     }
 
+    /// Flushes at or above this size fan the decide/release/enqueue sweep
+    /// out to the workers instead of running it on the flushing thread.
+    /// Classification itself is a cheap O(n + levels) histogram scan (see
+    /// [`gtb_classify`]); the sweep — two atomic RMWs, a queue push and a
+    /// possible wakeup per task — is what dominates large Max-Buffer
+    /// flushes.
+    const PARALLEL_FLUSH_MIN: usize = 4096;
+    /// Tasks released per worker chunk in a parallel flush.
+    const FLUSH_CHUNK: usize = 1024;
+
     /// GTB flush: classify the buffered tasks of `group`, then release them.
-    fn flush_tasks(&self, group: &GroupState, tasks: Vec<Arc<Task>>) {
+    fn flush_tasks(self: &Arc<Self>, group: &GroupState, tasks: Vec<Arc<Task>>) {
         if tasks.is_empty() {
             return;
         }
         self.stats.record_flush();
         let significances: Vec<Significance> = tasks.iter().map(|t| t.significance).collect();
         let decisions = gtb_classify(&significances, group.ratio());
+        if tasks.len() < Self::PARALLEL_FLUSH_MIN {
+            Self::release_classified(self, &tasks, &decisions);
+            return;
+        }
+        // Large-group flush: classification decisions are already fixed, so
+        // chunks of the release sweep are independent — spawn them onto the
+        // workers as internal system tasks. The group barrier stays correct
+        // without waiting on the chunks themselves: every buffered task
+        // already counts in the group's `outstanding`, and can only complete
+        // after its chunk releases it.
+        let mut tasks = tasks;
+        let mut decisions = decisions;
+        while tasks.len() > Self::FLUSH_CHUNK {
+            let split = tasks.len() - Self::FLUSH_CHUNK;
+            let chunk_tasks = tasks.split_off(split);
+            let chunk_decisions = decisions.split_off(split);
+            let inner = self.clone();
+            self.spawn_system(move || {
+                RuntimeInner::release_classified(&inner, &chunk_tasks, &chunk_decisions);
+            });
+        }
+        Self::release_classified(self, &tasks, &decisions);
+    }
+
+    /// Apply pre-computed GTB decisions and hand the tasks to the workers.
+    fn release_classified(self: &Arc<Self>, tasks: &[Arc<Task>], decisions: &[bool]) {
         for (task, accurate) in tasks.iter().zip(decisions) {
-            task.decide(accurate);
+            task.decide(*accurate);
         }
         for task in tasks {
             task.release();
-            self.try_enqueue(&task);
+            self.try_enqueue(task);
         }
     }
 
+    /// Enqueue a runtime-internal helper task. It participates in the
+    /// outstanding counters (so `wait_all` and shutdown see it) but not in
+    /// user-facing statistics or energy accounting.
+    fn spawn_system(self: &Arc<Self>, body: impl FnOnce() + Send + 'static) {
+        let id = TaskId(self.next_task_id.fetch_add(1, Ordering::Relaxed));
+        let mut task = Arc::new(Task::new_system(
+            id,
+            self.global_group.clone(),
+            Box::new(body),
+        ));
+        Arc::get_mut(&mut task)
+            .expect("task not yet shared")
+            .prime_spawn_enqueued(true);
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.global_group.outstanding.fetch_add(1, Ordering::SeqCst);
+        let target = self.queues.push(task, self.local_worker());
+        self.wake_for_push(target);
+    }
+
     /// Flush the pending GTB buffer of one group.
-    fn flush_group(&self, group: &GroupState) {
+    fn flush_group(self: &Arc<Self>, group: &GroupState) {
         let tasks = std::mem::take(&mut *group.buffer.lock().unwrap());
         self.flush_tasks(group, tasks);
     }
 
     /// Flush the GTB buffers of every group (used by global barriers).
-    fn flush_all_groups(&self) {
+    fn flush_all_groups(self: &Arc<Self>) {
         for group in self.groups.all() {
             self.flush_group(&group);
         }
@@ -225,6 +324,16 @@ impl RuntimeInner {
     /// still open, run the chosen body, record statistics, then resolve
     /// dependences and barriers. Lock-free on every step.
     fn execute(&self, task: Arc<Task>, worker: usize, lqh: &mut LqhState) {
+        if task.system {
+            // Internal helper tasks (e.g. parallel GTB flush chunks) skip
+            // policy, DVFS and statistics entirely.
+            // SAFETY: as below — this worker is the task's unique executor.
+            if let Some(body) = unsafe { task.take_accurate() } {
+                self.run_body(body);
+            }
+            self.complete(&task);
+            return;
+        }
         let accurate = match task.decision() {
             Some(decision) => decision,
             None => match self.policy {
@@ -237,6 +346,19 @@ impl RuntimeInner {
                 _ => true,
             },
         };
+
+        // Pick the frequency domain for this dispatch: approximate tasks may
+        // run under a lower modelled frequency (zero atomics for the default
+        // nominal governor, lock-free always).
+        let scale = self.env.dispatch(
+            worker,
+            &DispatchContext {
+                significance: task.significance,
+                accurate,
+                policy: self.policy,
+                group_ratio: task.group_state.ratio(),
+            },
+        );
 
         let start = Instant::now();
         // SAFETY (all `take_*` calls below): this worker won `claim_enqueue`
@@ -268,6 +390,7 @@ impl RuntimeInner {
         }
 
         self.stats.record_execution(worker, mode, busy);
+        self.env.record(worker, mode, busy, scale);
         task.group_state
             .stats
             .record(worker, task.significance.level(), mode);
@@ -300,7 +423,7 @@ impl RuntimeInner {
                 }
             }
             if !task.out_keys.is_empty() {
-                self.tracker.lock().unwrap().complete_writes(&task.out_keys);
+                self.tracker.complete_writes(&task.out_keys);
                 self.writes_barrier.notify();
             }
         } else {
@@ -397,7 +520,12 @@ impl Runtime {
         Runtime::builder().policy(policy).build()
     }
 
-    fn start(workers: usize, policy: Policy) -> Runtime {
+    fn start(
+        workers: usize,
+        policy: Policy,
+        model: PowerModel,
+        governor: Arc<dyn Governor>,
+    ) -> Runtime {
         let groups = GroupRegistry::new(workers + 1);
         let global_group = groups.get(GroupId::GLOBAL);
         let inner = Arc::new(RuntimeInner {
@@ -406,8 +534,10 @@ impl Runtime {
             queues: QueueSet::new(workers),
             groups,
             global_group,
-            tracker: Mutex::new(DependenceTracker::new()),
+            tracker: DependenceTracker::new(),
             stats: RuntimeStats::new(workers),
+            env: ExecutionEnv::new(model, governor, workers),
+            started: Instant::now(),
             next_task_id: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
             panicked: AtomicUsize::new(0),
@@ -445,6 +575,28 @@ impl Runtime {
     /// Whole-runtime execution statistics.
     pub fn stats(&self) -> &RuntimeStats {
         &self.inner.stats
+    }
+
+    /// Energy accounting snapshot built from the per-worker execution
+    /// environment shards: measured and DVFS-dilated busy time, dynamic
+    /// joules priced at the dispatched frequency, and per-worker frequency
+    /// domain state. The wall-clock window runs from runtime creation to
+    /// now; callers that measured a makespan themselves (e.g. around a
+    /// barrier) should prefer [`Runtime::energy_report_at`], which prices
+    /// static and idle power over exactly that window.
+    pub fn energy_report(&self) -> EnergyReport {
+        self.energy_report_at(self.inner.started.elapsed())
+    }
+
+    /// [`Runtime::energy_report`] over an explicitly measured wall-clock
+    /// window.
+    pub fn energy_report_at(&self, wall: std::time::Duration) -> EnergyReport {
+        self.inner.env.report(wall.as_secs_f64(), self.workers())
+    }
+
+    /// The power model the runtime's energy accounting prices work with.
+    pub fn energy_model(&self) -> &PowerModel {
+        self.inner.env.model()
     }
 
     /// Number of task bodies that panicked (the panics are caught and the
@@ -540,7 +692,7 @@ impl Runtime {
         let inner = &self.inner;
         inner
             .writes_barrier
-            .wait(|| inner.tracker.lock().unwrap().outstanding_writes(key) == 0);
+            .wait(|| inner.tracker.outstanding_writes(key) == 0);
     }
 
     /// Execution statistics of one group (Table 2 inputs).
@@ -691,12 +843,7 @@ impl TaskBuilder<'_> {
         // cannot be enqueued halfway through registration.
         task.pending_deps.store(1, Ordering::Release);
         if footprint {
-            let predecessors =
-                inner
-                    .tracker
-                    .lock()
-                    .unwrap()
-                    .register(&task, &self.in_keys, &self.out_keys);
+            let predecessors = inner.tracker.register(&task, &self.in_keys, &self.out_keys);
             let mut wired = 0usize;
             for predecessor in predecessors {
                 // `try_push` fails iff the predecessor already completed
@@ -744,6 +891,7 @@ impl TaskBuilder<'_> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
     use std::time::Duration;
 
     fn count_runtime(policy: Policy) -> Runtime {
@@ -1040,6 +1188,61 @@ mod tests {
         rt.wait_group(&group);
         assert!(rt.stats().buffer_flushes() >= 16);
         assert!(rt.stats().busy_core_seconds() > 0.0);
+    }
+
+    #[test]
+    fn large_max_buffer_flush_parallelises_without_stat_pollution() {
+        // Above PARALLEL_FLUSH_MIN the release sweep runs as system chunk
+        // tasks on the workers; results must be indistinguishable from the
+        // inline path and invisible in user-facing statistics.
+        let rt = count_runtime(Policy::GtbMaxBuffer);
+        let group = rt.create_group("big", 0.5);
+        const N: usize = 10_000;
+        for i in 0..N {
+            rt.task(|| {})
+                .approx(|| {})
+                .significance(((i % 9) + 1) as f64 / 10.0)
+                .group(&group)
+                .spawn();
+        }
+        rt.wait_group(&group);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.total(), N);
+        assert_eq!(stats.accurate, N / 2);
+        assert_eq!(stats.inverted, 0);
+        rt.wait_all();
+        assert_eq!(rt.stats().completed(), N, "system chunks must not count");
+        assert_eq!(rt.stats().spawned(), N);
+    }
+
+    #[test]
+    fn energy_report_reflects_executed_work() {
+        let rt = Runtime::builder()
+            .workers(2)
+            .policy(Policy::GtbMaxBuffer)
+            .governor(crate::env::ApproxGovernor::new(0.5))
+            .build();
+        let group = rt.create_group("energy", 0.5);
+        for i in 0..64u32 {
+            rt.task(|| std::thread::sleep(Duration::from_micros(300)))
+                .approx(|| std::thread::sleep(Duration::from_micros(100)))
+                .significance(((i % 9) + 1) as f64 / 10.0)
+                .group(&group)
+                .spawn();
+        }
+        rt.wait_group(&group);
+        let report = rt.energy_report();
+        assert_eq!(report.governor, "approx-step");
+        // 32 approximate tasks were dispatched below nominal frequency.
+        assert_eq!(report.scaled_tasks(), 32);
+        assert!(report.busy_seconds() > 0.0);
+        // Dilation: modelled busy exceeds measured busy.
+        assert!(report.modelled_busy_seconds() > report.busy_seconds());
+        let reading = report.reading();
+        assert!(reading.joules > 0.0);
+        assert!(reading.breakdown.dynamic_joules > 0.0);
+        // Busy time is conserved between scheduler stats and energy shards.
+        assert!((report.busy_seconds() - rt.stats().busy_core_seconds()).abs() < 1e-9);
     }
 
     #[test]

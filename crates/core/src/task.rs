@@ -194,6 +194,10 @@ pub(crate) struct Task {
     /// can never be a predecessor, so its completion path skips the
     /// successor-list seal and the dependence tracker entirely.
     pub(crate) footprint: bool,
+    /// Runtime-internal helper task (e.g. a parallel GTB-flush chunk):
+    /// executed like any other task but invisible to user-facing statistics
+    /// and energy accounting.
+    pub(crate) system: bool,
 }
 
 impl Task {
@@ -217,6 +221,24 @@ impl Task {
             successors: SuccessorList::new(),
             out_keys,
             footprint,
+            system: false,
+        }
+    }
+
+    /// A runtime-internal helper task: footprint-free, critical significance,
+    /// excluded from user-facing statistics.
+    pub(crate) fn new_system(id: TaskId, group_state: Arc<GroupState>, body: TaskBody) -> Self {
+        Task {
+            system: true,
+            ..Task::new(
+                id,
+                group_state,
+                Significance::CRITICAL,
+                body,
+                None,
+                Vec::new(),
+                false,
+            )
         }
     }
 

@@ -59,6 +59,42 @@ impl FrequencyScale {
         self.ratio
     }
 
+    /// Whether this scale is the identity (nominal frequency). Used by the
+    /// runtime's dispatch hot path to skip all scaling arithmetic.
+    pub fn is_nominal(&self) -> bool {
+        self.ratio == 1.0
+    }
+
+    /// Per-core active power under this frequency setting, in watts —
+    /// shorthand for `self.apply(model).active_watts_per_core`.
+    pub fn scaled_active_watts(&self, model: &PowerModel) -> f64 {
+        model.active_watts_per_core * self.power_factor()
+    }
+
+    /// An evenly spaced ladder of `steps` frequency settings from `floor` up
+    /// to nominal (inclusive), highest first — the shape of a P-state table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `floor` is outside `(0, 1]`.
+    pub fn ladder(steps: usize, floor: f64) -> Vec<FrequencyScale> {
+        assert!(steps > 0, "a frequency ladder needs at least one step");
+        assert!(
+            floor > 0.0 && floor <= 1.0,
+            "ladder floor must be in (0, 1], got {floor}"
+        );
+        (0..steps)
+            .map(|i| {
+                let t = if steps == 1 {
+                    0.0
+                } else {
+                    i as f64 / (steps - 1) as f64
+                };
+                FrequencyScale::new(1.0 - t * (1.0 - floor))
+            })
+            .collect()
+    }
+
     /// How much longer a CPU-bound region takes at this frequency.
     pub fn time_dilation(&self) -> f64 {
         1.0 / self.ratio
@@ -143,5 +179,33 @@ mod tests {
     fn linear_exponent_gives_no_dynamic_saving() {
         let s = FrequencyScale::with_exponent(0.5, 1.0);
         assert!((s.dynamic_energy_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_detection() {
+        assert!(FrequencyScale::nominal().is_nominal());
+        assert!(!FrequencyScale::new(0.99).is_nominal());
+    }
+
+    #[test]
+    fn ladder_spans_nominal_to_floor() {
+        let steps = FrequencyScale::ladder(4, 0.4);
+        assert_eq!(steps.len(), 4);
+        assert!(steps[0].is_nominal());
+        assert!((steps[3].ratio() - 0.4).abs() < 1e-12);
+        for pair in steps.windows(2) {
+            assert!(pair[0].ratio() > pair[1].ratio());
+        }
+        let single = FrequencyScale::ladder(1, 0.5);
+        assert!(single[0].is_nominal());
+    }
+
+    #[test]
+    fn scaled_active_watts_matches_apply() {
+        let model = PowerModel::xeon_e5_2650_dual_socket();
+        let s = FrequencyScale::new(0.7);
+        assert!(
+            (s.scaled_active_watts(&model) - s.apply(&model).active_watts_per_core).abs() < 1e-12
+        );
     }
 }

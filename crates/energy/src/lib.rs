@@ -37,5 +37,5 @@ pub mod work;
 
 pub use dvfs::FrequencyScale;
 pub use meter::{BusyGuard, EnergyMeter, EnergyReading};
-pub use power::PowerModel;
+pub use power::{EnergyBreakdown, PowerModel};
 pub use work::{WorkClass, WorkUnitMeter, WorkUnitModel};

@@ -10,19 +10,65 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::power::PowerModel;
+use crate::power::{EnergyBreakdown, PowerModel};
 
 /// A single energy measurement window.
+///
+/// This is the **one reading type** every accounting source in the workspace
+/// produces: the wall-clock [`EnergyMeter`], the deterministic
+/// [`crate::WorkUnitMeter`], and the runtime's per-worker DVFS-aware
+/// execution environment all report their results as an `EnergyReading`, so
+/// harness code can aggregate and compare them without caring where the
+/// joules came from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyReading {
-    /// Wall-clock duration of the window in seconds.
+    /// Wall-clock duration of the window in seconds (`0.0` for purely
+    /// work-driven readings, which have no wall-clock notion).
     pub wall_seconds: f64,
     /// Total busy core-seconds reported during the window.
     pub busy_core_seconds: f64,
-    /// Modelled energy in joules.
+    /// Modelled energy in joules (sum of the breakdown components).
     pub joules: f64,
     /// Average package power over the window in watts.
     pub average_watts: f64,
+    /// Static / dynamic / idle decomposition of `joules`.
+    pub breakdown: EnergyBreakdown,
+}
+
+impl EnergyReading {
+    /// Assemble a reading from its component terms. `joules` and
+    /// `average_watts` are derived.
+    pub fn from_breakdown(
+        wall_seconds: f64,
+        busy_core_seconds: f64,
+        breakdown: EnergyBreakdown,
+    ) -> Self {
+        let joules = breakdown.total();
+        EnergyReading {
+            wall_seconds,
+            busy_core_seconds,
+            joules,
+            average_watts: if wall_seconds > 0.0 {
+                joules / wall_seconds
+            } else {
+                0.0
+            },
+            breakdown,
+        }
+    }
+
+    /// A reading for work-driven accounting: all energy is dynamic, and no
+    /// wall-clock window exists.
+    pub fn from_work_joules(joules: f64) -> Self {
+        EnergyReading::from_breakdown(
+            0.0,
+            0.0,
+            EnergyBreakdown {
+                dynamic_joules: joules,
+                ..Default::default()
+            },
+        )
+    }
 }
 
 /// Accumulates per-core busy time and converts it to energy on demand.
@@ -99,17 +145,11 @@ impl EnergyMeter {
     /// caller measured the makespan independently, e.g. around a barrier).
     pub fn read_at(&self, wall_seconds: f64) -> EnergyReading {
         let busy = self.busy_core_seconds();
-        let joules = self.model.energy_joules(wall_seconds, busy);
-        EnergyReading {
+        EnergyReading::from_breakdown(
             wall_seconds,
-            busy_core_seconds: busy,
-            joules,
-            average_watts: if wall_seconds > 0.0 {
-                joules / wall_seconds
-            } else {
-                0.0
-            },
-        }
+            busy,
+            self.model.energy_breakdown(wall_seconds, busy),
+        )
     }
 }
 
@@ -194,6 +234,27 @@ mod tests {
         let r = meter.read_at(0.0);
         assert_eq!(r.average_watts, 0.0);
         assert_eq!(r.joules, 0.0);
+    }
+
+    #[test]
+    fn reading_breakdown_sums_to_joules() {
+        let meter = EnergyMeter::new(model());
+        meter.record_busy_secs(2.0);
+        let r = meter.read_at(1.0);
+        assert!((r.breakdown.total() - r.joules).abs() < 1e-12);
+        assert!((r.breakdown.static_joules - 10.0).abs() < 1e-9);
+        assert!((r.breakdown.dynamic_joules - 10.0).abs() < 1e-9);
+        assert!((r.breakdown.idle_joules - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_reading_is_all_dynamic() {
+        let r = EnergyReading::from_work_joules(7.5);
+        assert_eq!(r.joules, 7.5);
+        assert_eq!(r.breakdown.dynamic_joules, 7.5);
+        assert_eq!(r.breakdown.static_joules, 0.0);
+        assert_eq!(r.wall_seconds, 0.0);
+        assert_eq!(r.average_watts, 0.0);
     }
 
     #[test]

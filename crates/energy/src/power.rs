@@ -86,14 +86,47 @@ impl PowerModel {
     /// Busy core-seconds beyond physical capacity are clamped, so oversubscribed
     /// thread pools cannot yield more-than-physical energy.
     pub fn energy_joules(&self, wall_seconds: f64, busy_core_seconds: f64) -> f64 {
+        self.energy_breakdown(wall_seconds, busy_core_seconds)
+            .total()
+    }
+
+    /// The same integration as [`PowerModel::energy_joules`], split into its
+    /// static, active (dynamic) and idle components. The components are what
+    /// DVFS-aware accounting manipulates individually: frequency scaling
+    /// changes only the active term, race-to-idle changes the wall time the
+    /// static term integrates over.
+    pub fn energy_breakdown(&self, wall_seconds: f64, busy_core_seconds: f64) -> EnergyBreakdown {
         assert!(wall_seconds >= 0.0, "wall time must be non-negative");
         assert!(busy_core_seconds >= 0.0, "busy time must be non-negative");
         let capacity = self.total_cores() as f64 * wall_seconds;
         let busy = busy_core_seconds.min(capacity);
         let idle = capacity - busy;
-        self.sockets as f64 * self.static_watts_per_socket * wall_seconds
-            + self.active_watts_per_core * busy
-            + self.idle_watts_per_core * idle
+        EnergyBreakdown {
+            static_joules: self.sockets as f64 * self.static_watts_per_socket * wall_seconds,
+            dynamic_joules: self.active_watts_per_core * busy,
+            idle_joules: self.idle_watts_per_core * idle,
+        }
+    }
+}
+
+/// Additive decomposition of a modelled energy window into the three terms of
+/// the affine model. Shared by wall-clock metering ([`crate::EnergyMeter`]),
+/// the runtime's per-worker DVFS accounting, and reports built from either.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Leakage + uncore energy drawn for the whole window.
+    pub static_joules: f64,
+    /// Energy drawn by cores while executing work (the only term DVFS
+    /// frequency scaling changes).
+    pub dynamic_joules: f64,
+    /// Energy drawn by idle (halted) cores.
+    pub idle_joules: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules across the three components.
+    pub fn total(&self) -> f64 {
+        self.static_joules + self.dynamic_joules + self.idle_joules
     }
 }
 
@@ -175,5 +208,15 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_wall_time_panics() {
         PowerModel::default().energy_joules(-1.0, 0.0);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let m = PowerModel::xeon_e5_2650_dual_socket();
+        let b = m.energy_breakdown(2.0, 8.0);
+        assert!((b.total() - m.energy_joules(2.0, 8.0)).abs() < 1e-9);
+        assert!((b.static_joules - 2.0 * 21.0 * 2.0).abs() < 1e-9);
+        assert!((b.dynamic_joules - 6.6 * 8.0).abs() < 1e-9);
+        assert!((b.idle_joules - 1.4 * (32.0 - 8.0)).abs() < 1e-9);
     }
 }

@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use crate::meter::EnergyReading;
+
 /// The kind of work being charged to a [`WorkUnitMeter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WorkClass {
@@ -117,6 +119,15 @@ impl WorkUnitMeter {
                 .joules_for(WorkClass::Runtime, self.units(WorkClass::Runtime))
     }
 
+    /// Produce an [`EnergyReading`] for the units charged so far, so
+    /// work-driven accounting can be aggregated and compared against
+    /// wall-clock ([`crate::EnergyMeter`]) and runtime-driven readings
+    /// through the one shared reading type. Work units have no wall-clock
+    /// window; all energy is reported as dynamic.
+    pub fn read(&self) -> EnergyReading {
+        EnergyReading::from_work_joules(self.joules())
+    }
+
     /// Reset all counters to zero (the model is retained).
     pub fn reset(&self) {
         self.accurate_units.store(0, Ordering::Relaxed);
@@ -169,6 +180,16 @@ mod tests {
         let meter_apx = WorkUnitMeter::new(WorkUnitModel::default());
         meter_apx.charge(WorkClass::Approximate, 100);
         assert!(meter_apx.joules() < meter_acc.joules());
+    }
+
+    #[test]
+    fn read_shares_the_common_reading_type() {
+        let meter = WorkUnitMeter::new(WorkUnitModel::default());
+        meter.charge(WorkClass::Accurate, 10);
+        let reading = meter.read();
+        assert!((reading.joules - meter.joules()).abs() < 1e-12);
+        assert_eq!(reading.breakdown.dynamic_joules, reading.joules);
+        assert_eq!(reading.wall_seconds, 0.0);
     }
 
     #[test]

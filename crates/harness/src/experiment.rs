@@ -86,7 +86,9 @@ pub struct ExperimentPoint {
     pub degree: Option<String>,
     /// Wall-clock execution time in seconds.
     pub time_seconds: f64,
-    /// Modelled energy in joules.
+    /// Modelled energy in joules. Runtime-driven runs report their own
+    /// per-worker (DVFS-aware) accounting; serial runs fall back to
+    /// integrating the experiment's power model over the measured window.
     pub energy_joules: f64,
     /// Output quality (lower is better; PSNR⁻¹ or relative error %).
     pub quality: f64,
@@ -108,9 +110,15 @@ impl ExperimentPoint {
         run: &RunOutput,
     ) -> Self {
         let quality: QualityScore = benchmark.quality(reference, run);
-        let energy = defaults
-            .power_model
-            .energy_joules(run.elapsed.as_secs_f64(), run.busy_core_seconds);
+        let energy = match &run.energy {
+            // Runtime-driven accounting (per-worker shards, DVFS-aware).
+            Some(reading) => reading.joules,
+            // Serial comparators have no runtime; integrate the power model
+            // over the measured window instead.
+            None => defaults
+                .power_model
+                .energy_joules(run.elapsed.as_secs_f64(), run.busy_core_seconds),
+        };
         let accurate_fraction = if run.tasks.total == 0 {
             1.0
         } else {

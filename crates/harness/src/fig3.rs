@@ -14,13 +14,17 @@ use sig_quality::{psnr, GrayImage};
 
 use crate::experiment::ExperimentDefaults;
 
-/// PSNR of one perforation level against the accurate Sobel output.
+/// PSNR and modelled energy of one perforation level against the accurate
+/// Sobel output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerforationQuality {
     /// Fraction of loop iterations dropped.
     pub dropped_fraction: f64,
     /// PSNR in dB against the accurate output.
     pub psnr_db: f64,
+    /// Modelled energy of the perforated run in joules (power model
+    /// integrated over the measured serial window).
+    pub energy_joules: f64,
 }
 
 /// Result of the Figure 3 generation.
@@ -34,7 +38,7 @@ pub struct Fig3Output {
 
 /// Generate the Figure 3 composition (perforation of 0%, 20%, 70% and 100%
 /// of the row loop).
-pub fn generate(sobel: &Sobel, _defaults: &ExperimentDefaults) -> Fig3Output {
+pub fn generate(sobel: &Sobel, defaults: &ExperimentDefaults) -> Fig3Output {
     let accurate = sobel.run_perforated(1.0);
     let p20 = sobel.run_perforated(0.8);
     let p70 = sobel.run_perforated(0.3);
@@ -46,22 +50,31 @@ pub fn generate(sobel: &Sobel, _defaults: &ExperimentDefaults) -> Fig3Output {
         &sobel.output_image(&p70.values),
         &sobel.output_image(&p100.values),
     );
+    let energy = |run: &sig_kernels::RunOutput| {
+        defaults
+            .power_model
+            .energy_joules(run.elapsed.as_secs_f64(), run.busy_core_seconds)
+    };
     let levels = vec![
         PerforationQuality {
             dropped_fraction: 0.0,
             psnr_db: f64::INFINITY,
+            energy_joules: energy(&accurate),
         },
         PerforationQuality {
             dropped_fraction: 0.2,
             psnr_db: psnr(&accurate.values, &p20.values, 255.0),
+            energy_joules: energy(&p20),
         },
         PerforationQuality {
             dropped_fraction: 0.7,
             psnr_db: psnr(&accurate.values, &p70.values, 255.0),
+            energy_joules: energy(&p70),
         },
         PerforationQuality {
             dropped_fraction: 1.0,
             psnr_db: psnr(&accurate.values, &p100.values, 255.0),
+            energy_joules: energy(&p100),
         },
     ];
     Fig3Output { image, levels }
@@ -101,6 +114,7 @@ mod tests {
         assert_eq!(out.levels.len(), 4);
         assert!(out.levels[1].psnr_db >= out.levels[2].psnr_db);
         assert!(out.levels[2].psnr_db >= out.levels[3].psnr_db);
+        assert!(out.levels.iter().all(|l| l.energy_joules > 0.0));
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub struct AccuracyRow {
     pub inverted_percent: f64,
     /// Mean `|requested − achieved|` accurate-task ratio over groups.
     pub ratio_diff: f64,
+    /// Modelled energy of the run in joules, from the runtime's own
+    /// per-worker accounting.
+    pub energy_joules: f64,
 }
 
 /// Run one benchmark at the given degree under one policy and extract the
@@ -55,6 +58,7 @@ pub fn measure_policy(
         policy: choice.label().to_string(),
         inverted_percent: inverted,
         ratio_diff: diff,
+        energy_joules: run.energy.map(|r| r.joules).unwrap_or_default(),
     }
 }
 
@@ -106,6 +110,9 @@ pub fn render(rows: &[AccuracyRow]) -> String {
                 cell(b, "LQH", &|r| r.ratio_diff),
                 cell(b, "GTB", &|r| r.ratio_diff),
                 cell(b, "GTB(MaxBuffer)", &|r| r.ratio_diff),
+                cell(b, "LQH", &|r| r.energy_joules),
+                cell(b, "GTB", &|r| r.energy_joules),
+                cell(b, "GTB(MaxBuffer)", &|r| r.energy_joules),
             ]
         })
         .collect();
@@ -118,6 +125,9 @@ pub fn render(rows: &[AccuracyRow]) -> String {
             "ratio-diff LQH",
             "ratio-diff GTB(UD)",
             "ratio-diff GTB(MB)",
+            "energy-J LQH",
+            "energy-J GTB(UD)",
+            "energy-J GTB(MB)",
         ],
         &table_rows,
     )
@@ -183,18 +193,36 @@ mod tests {
                 policy: "LQH".into(),
                 inverted_percent: 2.7,
                 ratio_diff: 0.07,
+                energy_joules: 12.5,
             },
             AccuracyRow {
                 benchmark: "Sobel".into(),
                 policy: "GTB".into(),
                 inverted_percent: 0.0,
                 ratio_diff: 0.0,
+                energy_joules: 11.0,
             },
         ];
         let table = render(&rows);
         assert!(table.contains("Sobel"));
         assert!(table.contains("2.70"));
+        assert!(table.contains("energy-J LQH"));
+        assert!(table.contains("12.50"));
         // Missing policy entries render as "-".
         assert!(table.contains('-'));
+    }
+
+    #[test]
+    fn measured_rows_carry_runtime_energy() {
+        let sobel = Sobel {
+            width: 96,
+            height: 96,
+        };
+        let defaults = ExperimentDefaults {
+            workers: 2,
+            ..Default::default()
+        };
+        let row = measure_policy(&sobel, PolicyChoice::Lqh, Degree::Medium, &defaults);
+        assert!(row.energy_joules > 0.0, "{row:?}");
     }
 }

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use sig_core::{GroupStatsSnapshot, Policy, Runtime};
+use sig_core::{EnergyReading, GroupStatsSnapshot, Policy, Runtime};
 use sig_quality::{psnr, relative_error, QualityMetric, QualityScore};
 
 /// The three approximation degrees studied for every benchmark (Table 1).
@@ -174,6 +174,10 @@ pub struct RunOutput {
     pub tasks: TaskCounts,
     /// Per-group statistics (Table 2 inputs); empty for serial runs.
     pub groups: Vec<(String, GroupStatsSnapshot)>,
+    /// Energy reading produced by the runtime's own per-worker accounting
+    /// (DVFS-aware when a governor is installed); `None` for serial runs,
+    /// which have no runtime to account them.
+    pub energy: Option<EnergyReading>,
 }
 
 impl RunOutput {
@@ -185,11 +189,13 @@ impl RunOutput {
             busy_core_seconds: elapsed.as_secs_f64(),
             tasks: TaskCounts::default(),
             groups: Vec::new(),
+            energy: None,
         }
     }
 
     /// Wrap the output of a run on the significance runtime, harvesting the
-    /// runtime- and group-level statistics.
+    /// runtime- and group-level statistics plus the energy accounting of its
+    /// execution environment.
     pub fn from_runtime(rt: &Runtime, values: Vec<f64>, elapsed: Duration) -> Self {
         let stats = rt.stats();
         RunOutput {
@@ -207,6 +213,10 @@ impl RunOutput {
                 .into_iter()
                 .filter(|(_, snap)| snap.total() > 0)
                 .collect(),
+            // Price static/idle power over the caller-measured makespan, not
+            // the runtime's whole lifetime (which would also bill result
+            // harvesting after the barrier).
+            energy: Some(rt.energy_report_at(elapsed).reading()),
         }
     }
 }
@@ -311,6 +321,19 @@ mod tests {
         assert_eq!(out.busy_core_seconds, 0.5);
         assert_eq!(out.tasks.total, 0);
         assert!(out.groups.is_empty());
+        assert!(out.energy.is_none());
+    }
+
+    #[test]
+    fn runtime_run_output_carries_an_energy_reading() {
+        let rt = Runtime::builder().workers(2).build();
+        rt.task(|| std::thread::sleep(std::time::Duration::from_millis(2)))
+            .spawn();
+        rt.wait_all();
+        let out = RunOutput::from_runtime(&rt, vec![0.0], Duration::from_millis(2));
+        let energy = out.energy.expect("runtime runs carry a reading");
+        assert!(energy.joules > 0.0);
+        assert!(energy.busy_core_seconds > 0.0);
     }
 
     #[test]

@@ -9,8 +9,11 @@ use significance_repro::prelude::*;
 
 fn main() {
     // A runtime with the Global Task Buffering policy and a bounded buffer.
+    // The governor runs approximate tasks at 60% modelled frequency, so the
+    // energy report below prices them as slower but cheaper (DVFS).
     let rt = Runtime::builder()
         .policy(Policy::Gtb { buffer_size: 16 })
+        .governor(ApproxGovernor::new(0.6))
         .build();
 
     // A task group whose barrier will require at least 40% of the tasks to
@@ -47,6 +50,27 @@ fn main() {
     println!("dropped             : {}", stats.dropped);
     println!("achieved ratio      : {:.2}", stats.achieved_ratio());
     println!("significance inversions: {}", stats.inverted);
+
+    // The execution environment accounted every dispatch: how many tasks ran
+    // below nominal frequency, and what the run cost under the power model.
+    let report = rt.energy_report();
+    let reading = report.reading();
+    println!("DVFS-scaled tasks   : {}", report.scaled_tasks());
+    println!("modelled energy     : {:.3} J", reading.joules);
+    println!(
+        "  dynamic           : {:.3} J",
+        reading.breakdown.dynamic_joules
+    );
+    println!(
+        "  static + idle     : {:.3} J",
+        reading.breakdown.static_joules + reading.breakdown.idle_joules
+    );
+
     assert_eq!(stats.total(), 100);
     assert!(stats.achieved_ratio() >= 0.4);
+    assert_eq!(
+        report.scaled_tasks() as usize,
+        stats.approximate + stats.dropped
+    );
+    assert!(reading.joules > 0.0);
 }
