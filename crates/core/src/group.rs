@@ -106,6 +106,31 @@ impl GroupState {
         );
         self.ratio_bits.store(ratio.to_bits(), Ordering::Release);
     }
+
+    /// Append a whole batch to the GTB buffer with **one** lock
+    /// acquisition. When the append reaches `capacity`, the buffered tasks
+    /// are taken out and returned for the caller to flush — a batched spawn
+    /// therefore classifies in windows at least as informed as the
+    /// per-task path's.
+    pub(crate) fn append_buffered(
+        &self,
+        tasks: Vec<Arc<Task>>,
+        capacity: usize,
+    ) -> Option<Vec<Arc<Task>>> {
+        let mut buffer = self.buffer.lock().unwrap();
+        if buffer.is_empty() {
+            if tasks.len() >= capacity {
+                return Some(tasks);
+            }
+            *buffer = tasks;
+        } else {
+            buffer.extend(tasks);
+            if buffer.len() >= capacity {
+                return Some(std::mem::take(&mut *buffer));
+            }
+        }
+        None
+    }
 }
 
 /// Registry mapping group labels to group state.

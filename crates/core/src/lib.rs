@@ -72,7 +72,7 @@ pub use env::{
 };
 pub use group::{GroupId, TaskGroup};
 pub use policy::Policy;
-pub use runtime::{Runtime, RuntimeBuilder, TaskBuilder};
+pub use runtime::{BatchBuilder, BatchTask, Runtime, RuntimeBuilder, TaskBuilder, TaskIdRange};
 pub use shared::{RegionWriter, SharedGrid};
 pub use significance::{Significance, SignificanceLevel, NUM_LEVELS};
 pub use stats::{GroupStatsSnapshot, RuntimeStats};
@@ -88,10 +88,10 @@ pub mod prelude {
     pub use crate::env::{ApproxGovernor, Governor, SignificanceLadderGovernor};
     pub use crate::group::TaskGroup;
     pub use crate::policy::Policy;
-    pub use crate::runtime::{Runtime, RuntimeBuilder};
+    pub use crate::runtime::{BatchTask, Runtime, RuntimeBuilder, TaskIdRange};
     pub use crate::shared::SharedGrid;
     pub use crate::significance::Significance;
     pub use crate::task::ExecutionMode;
-    pub use crate::{task, taskwait};
+    pub use crate::{spawn_batch, task, taskwait};
     pub use sig_energy::FrequencyScale;
 }

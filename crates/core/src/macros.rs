@@ -64,6 +64,43 @@ macro_rules! task {
     (@clause $builder:expr, out($keys:expr)) => { $builder.writes($keys) };
 }
 
+/// Spawn a whole batch of tasks through the amortised injection pipeline —
+/// the batched counterpart of [`task!`](crate::task).
+///
+/// Forms (clauses in any order; `tasks(...)` takes any
+/// `IntoIterator<Item = BatchTask>`):
+///
+/// * `spawn_batch!(rt, tasks(items))` — batch into the implicit global
+///   group,
+/// * `spawn_batch!(rt, label(&group), tasks(items))` — batch into a group.
+///
+/// Expands to a [`BatchBuilder`](crate::runtime::BatchBuilder) submission
+/// and returns the issued [`TaskIdRange`](crate::runtime::TaskIdRange).
+///
+/// ```
+/// use sig_core::{spawn_batch, taskwait, BatchTask, Runtime};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// let rows = rt.create_group("rows", 1.0);
+/// let ids = spawn_batch!(rt, label(&rows), tasks((0..8u32).map(|i| {
+///     BatchTask::new(move || { let _ = i; }).significance(0.5)
+/// })));
+/// assert_eq!(ids.len(), 8);
+/// taskwait!(rt, label(&rows));
+/// ```
+#[macro_export]
+macro_rules! spawn_batch {
+    ($rt:expr, tasks($items:expr) $(,)?) => {
+        $rt.spawn_batch($items)
+    };
+    ($rt:expr, label($group:expr), tasks($items:expr) $(,)?) => {
+        $rt.batch().group($group).spawn_tasks($items)
+    };
+    ($rt:expr, tasks($items:expr), label($group:expr) $(,)?) => {
+        $rt.batch().group($group).spawn_tasks($items)
+    };
+}
+
 /// Barrier: the macro equivalent of
 /// `#pragma omp taskwait [label(...)] [ratio(...)] [on(...)]`.
 ///

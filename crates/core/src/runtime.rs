@@ -225,14 +225,48 @@ impl RuntimeInner {
         if self.parkers[target].unpark_if_sleeping() {
             return;
         }
+        self.wake_one_sleeper(usize::MAX);
+    }
+
+    /// Wake one sleeping worker other than `except` (pass `usize::MAX` for
+    /// no exclusion). A single atomic load when nobody sleeps.
+    fn wake_one_sleeper(&self, except: usize) {
         if self.sleepers.load(Ordering::SeqCst) == 0 {
             return;
         }
         for (index, parker) in self.parkers.iter().enumerate() {
-            if index != target && parker.unpark_if_sleeping() {
+            if index != except && parker.unpark_if_sleeping() {
                 return;
             }
         }
+    }
+
+    /// One coalesced wake for a whole injected batch: scan the `touched`
+    /// consecutive workers whose queues just received a chunk (a cheap flag
+    /// load each when they are already running) and unpark **the first
+    /// sleeping one only**; if none of them sleeps, wake one other sleeper
+    /// so the batch is stealable without delay. A single unpark replaces
+    /// one `wake_for_push` per task — the dominant syscall cost of
+    /// fine-grained floods. The rest of the pool is woken by *propagation*:
+    /// every steal that deposits surplus work (and every spill refill)
+    /// wakes one further sleeper, spreading a large batch geometrically
+    /// without the master paying one syscall per worker.
+    ///
+    /// Spill-overflowed targets additionally get a directed unpark each:
+    /// thieves *can* rescue a spill (via the consumer token), but the owner
+    /// drains it with the best locality and without waiting for an idle
+    /// thief to happen upon it.
+    fn wake_for_batch(&self, push: &crate::deque::BatchPush) {
+        for &target in &push.spilled {
+            self.parkers[target].unpark_if_sleeping();
+        }
+        let count = self.parkers.len();
+        for offset in 0..push.touched.min(count) {
+            if self.parkers[(push.first + offset) % count].unpark_if_sleeping() {
+                return;
+            }
+        }
+        self.wake_one_sleeper(usize::MAX);
     }
 
     /// Flushes at or above this size fan the decide/release/enqueue sweep
@@ -301,16 +335,120 @@ impl RuntimeInner {
         Arc::get_mut(&mut task)
             .expect("task not yet shared")
             .prime_spawn_enqueued(true);
-        self.outstanding.fetch_add(1, Ordering::SeqCst);
-        self.global_group.outstanding.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: see the invariant note on the `outstanding` bumps in
+        // `TaskBuilder::spawn`.
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        self.global_group
+            .outstanding
+            .fetch_add(1, Ordering::Relaxed);
         let target = self.queues.push(task, self.local_worker());
         self.wake_for_push(target);
+    }
+
+    /// Batched submission: prime, count and enqueue a whole slice of
+    /// footprint-free tasks with per-*batch* instead of per-task overhead —
+    /// one task-id reservation, one bump of each outstanding counter, one
+    /// statistics record, one (chunked round-robin) queue pass and one
+    /// coalesced wake. Under a buffering (GTB) policy the batch lands in
+    /// the group buffer with a single lock acquisition instead.
+    fn spawn_batch_into(
+        self: &Arc<Self>,
+        group_state: &Arc<GroupState>,
+        items: Vec<BatchTask>,
+    ) -> TaskIdRange {
+        let n = items.len();
+        if n == 0 {
+            let id = self.next_task_id.load(Ordering::Relaxed);
+            return TaskIdRange { next: id, end: id };
+        }
+        let first = self.next_task_id.fetch_add(n as u64, Ordering::Relaxed);
+        // Relaxed: see the invariant note in `TaskBuilder::spawn`.
+        self.outstanding.fetch_add(n, Ordering::Relaxed);
+        group_state.outstanding.fetch_add(n, Ordering::Relaxed);
+        self.stats.record_spawns(n);
+
+        let buffering = self.policy.is_buffering();
+        let accurate = matches!(self.policy, Policy::SignificanceAgnostic);
+        let mut tasks = Vec::with_capacity(n);
+        for (offset, item) in items.into_iter().enumerate() {
+            let mut task = Arc::new(Task::new(
+                TaskId(first + offset as u64),
+                group_state.clone(),
+                item.significance,
+                item.accurate,
+                item.approximate,
+                Vec::new(),
+                false,
+            ));
+            if !buffering {
+                // Primed through `&mut` before sharing: released + enqueued
+                // (+ decided, for the agnostic policy) cost zero atomics.
+                Arc::get_mut(&mut task)
+                    .expect("task not yet shared")
+                    .prime_spawn_enqueued(accurate);
+            }
+            tasks.push(task);
+        }
+
+        if buffering {
+            let capacity = self
+                .policy
+                .buffer_capacity()
+                .expect("buffering policy has a capacity");
+            if let Some(flush) = group_state.append_buffered(tasks, capacity) {
+                self.flush_tasks(group_state, flush);
+            } else {
+                self.notify_buffered(group_state);
+            }
+        } else {
+            let push = self.queues.push_batch(tasks, self.local_worker());
+            self.wake_for_batch(&push);
+        }
+        TaskIdRange {
+            next: first,
+            end: first + n as u64,
+        }
     }
 
     /// Flush the pending GTB buffer of one group.
     fn flush_group(self: &Arc<Self>, group: &GroupState) {
         let tasks = std::mem::take(&mut *group.buffer.lock().unwrap());
         self.flush_tasks(group, tasks);
+    }
+
+    /// Entering a barrier hands the caller's "awakeness" to the pool: if
+    /// the calling thread is about to block while queued work exists, one
+    /// sleeping worker is invited to keep draining. Without this, the
+    /// batched injector's single coalesced wake could strand work: the one
+    /// woken worker blocks in a *nested* barrier inside a task body, every
+    /// other chunk recipient is still parked, and nobody is left awake to
+    /// steal the tasks the barrier is waiting for. Each nested wait wakes
+    /// one further sleeper, so at least one worker stays awake while any
+    /// thread is blocked and work remains. One atomic load when nobody
+    /// sleeps.
+    fn wake_for_wait(&self) {
+        self.wake_one_sleeper(usize::MAX);
+    }
+
+    /// Re-flush GTB buffers from inside a barrier predicate. A no-op (no
+    /// locks) for non-buffering policies, whose buffers are always empty.
+    fn flush_all_groups_if_buffering(self: &Arc<Self>) {
+        if self.policy.is_buffering() {
+            self.flush_all_groups();
+        }
+    }
+
+    /// A spawn left tasks sitting in a GTB buffer: nudge every barrier that
+    /// could be blocked on them so its predicate — which re-flushes the
+    /// buffers — runs. Without this, a spawn issued *during* a barrier
+    /// (e.g. from an executing task body) could stay buffered forever: the
+    /// buffered tasks are already counted outstanding, so no completion
+    /// will ever bring the counter to zero and fire the notify itself.
+    /// Three atomic loads when no barrier waits.
+    fn notify_buffered(&self, group: &GroupState) {
+        group.barrier.notify();
+        self.idle_barrier.notify();
+        self.writes_barrier.notify();
     }
 
     /// Flush the GTB buffers of every group (used by global barriers).
@@ -454,14 +592,28 @@ impl RuntimeInner {
         let mut lqh = LqhState::new();
         let mut idle_rounds = 0u32;
         loop {
-            if let Some(task) = self.queues.pop_local(index) {
+            let popped = self.queues.pop_local(index);
+            if popped.refilled {
+                // A spill refill just published stealable work on this
+                // worker's deque: invite one sleeper to share the backlog.
+                self.wake_one_sleeper(index);
+            }
+            if let Some(task) = popped.task {
                 idle_rounds = 0;
                 self.execute(task, index, &mut lqh);
                 continue;
             }
+            // Steal-half: the oldest victim task is returned, the rest of
+            // the claimed half now sits on this worker's own deque.
             if let Some(task) = self.queues.steal(index) {
                 idle_rounds = 0;
                 self.stats.record_steal(index);
+                if self.queues.has_local_backlog(index) {
+                    // The steal deposited surplus stealable work: propagate
+                    // the wake so a large batch fans out geometrically
+                    // (the batched injector only unparks one worker).
+                    self.wake_one_sleeper(index);
+                }
                 self.execute(task, index, &mut lqh);
                 continue;
             }
@@ -643,14 +795,43 @@ impl Runtime {
         }
     }
 
+    /// Start describing a **batch** of tasks submitted through the amortised
+    /// injection pipeline: per-batch (not per-task) counter updates,
+    /// statistics, sticky round-robin chunked distribution and one coalesced
+    /// wake. See [`BatchBuilder`].
+    pub fn batch(&self) -> BatchBuilder<'_> {
+        BatchBuilder {
+            runtime: self,
+            group: None,
+            significance: Significance::default(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Submit a pre-built collection of [`BatchTask`]s to the implicit
+    /// global group in one batched injection — shorthand for
+    /// `self.batch().spawn_tasks(items)`.
+    pub fn spawn_batch(&self, items: impl IntoIterator<Item = BatchTask>) -> TaskIdRange {
+        self.batch().spawn_tasks(items)
+    }
+
     /// Global barrier (`#pragma omp taskwait`): flush all GTB buffers and
     /// wait until every spawned task has completed.
+    ///
+    /// Under a buffering policy the flush is repeated before every
+    /// predicate re-check: tasks spawned into a buffering group *during*
+    /// the barrier (e.g. from an executing task body) would otherwise sit
+    /// in the GTB buffer with no master left to flush them, deadlocking
+    /// the barrier. (Non-buffering policies skip the re-flush — their
+    /// buffers are always empty.)
     pub fn wait_all(&self) {
         self.inner.flush_all_groups();
         let inner = &self.inner;
-        inner
-            .idle_barrier
-            .wait(|| inner.outstanding.load(Ordering::SeqCst) == 0);
+        inner.wake_for_wait();
+        inner.idle_barrier.wait(|| {
+            inner.flush_all_groups_if_buffering();
+            inner.outstanding.load(Ordering::SeqCst) == 0
+        });
     }
 
     /// Global barrier with a `ratio(...)` clause: the ratio is applied to the
@@ -661,13 +842,20 @@ impl Runtime {
     }
 
     /// Group barrier (`#pragma omp taskwait label(...)`): flush the group's
-    /// GTB buffer and wait for its tasks.
+    /// GTB buffer and wait for its tasks. Re-flushes before every predicate
+    /// re-check (see [`Runtime::wait_all`]) so spawns issued from inside
+    /// the group's own tasks drain instead of deadlocking the barrier.
     pub fn wait_group(&self, group: &TaskGroup) {
         let state = self.inner.groups.get(group.id);
         self.inner.flush_group(&state);
-        state
-            .barrier
-            .wait(|| state.outstanding.load(Ordering::SeqCst) == 0);
+        let inner = &self.inner;
+        inner.wake_for_wait();
+        state.barrier.wait(|| {
+            if inner.policy.is_buffering() {
+                inner.flush_group(&state);
+            }
+            state.outstanding.load(Ordering::SeqCst) == 0
+        });
     }
 
     /// Group barrier with a `ratio(...)` clause
@@ -679,9 +867,14 @@ impl Runtime {
         let state = self.inner.groups.get(group.id);
         state.set_ratio(ratio);
         self.inner.flush_group(&state);
-        state
-            .barrier
-            .wait(|| state.outstanding.load(Ordering::SeqCst) == 0);
+        let inner = &self.inner;
+        inner.wake_for_wait();
+        state.barrier.wait(|| {
+            if inner.policy.is_buffering() {
+                inner.flush_group(&state);
+            }
+            state.outstanding.load(Ordering::SeqCst) == 0
+        });
     }
 
     /// Data barrier (`#pragma omp taskwait on(...)`): wait until every task
@@ -690,9 +883,11 @@ impl Runtime {
     pub fn wait_on(&self, key: DepKey) {
         self.inner.flush_all_groups();
         let inner = &self.inner;
-        inner
-            .writes_barrier
-            .wait(|| inner.tracker.outstanding_writes(key) == 0);
+        inner.wake_for_wait();
+        inner.writes_barrier.wait(|| {
+            inner.flush_all_groups_if_buffering();
+            inner.tracker.outstanding_writes(key) == 0
+        });
     }
 
     /// Execution statistics of one group (Table 2 inputs).
@@ -827,16 +1022,29 @@ impl TaskBuilder<'_> {
             Arc::get_mut(&mut task)
                 .expect("task not yet shared")
                 .prime_spawn_enqueued(accurate);
-            inner.outstanding.fetch_add(1, Ordering::SeqCst);
-            group_state.outstanding.fetch_add(1, Ordering::SeqCst);
+            // Relaxed is sufficient for both `outstanding` bumps. Invariant:
+            // an increment must be observable (a) by the matching
+            // `fetch_sub` in `complete`, which RMW coherence orders after it
+            // (the sub can only run once the task reached a worker, and the
+            // queue handoff's release/acquire edge orders the add before the
+            // pop), and (b) by any barrier predicate load *on the spawning
+            // thread*, which same-thread coherence guarantees. A barrier on
+            // another thread racing this spawn is unordered by construction
+            // — it may legitimately return before the spawn lands — so no
+            // cross-thread SC fence is load-bearing here. The decrement side
+            // stays SeqCst: it pairs with the EventCount register/re-check
+            // protocol.
+            inner.outstanding.fetch_add(1, Ordering::Relaxed);
+            group_state.outstanding.fetch_add(1, Ordering::Relaxed);
             inner.stats.record_spawn();
             let target = inner.queues.push(task, inner.local_worker());
             inner.wake_for_push(target);
             return id;
         }
 
-        inner.outstanding.fetch_add(1, Ordering::SeqCst);
-        group_state.outstanding.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: see the invariant note on the fast path above.
+        inner.outstanding.fetch_add(1, Ordering::Relaxed);
+        group_state.outstanding.fetch_add(1, Ordering::Relaxed);
         inner.stats.record_spawn();
 
         // Hold one phantom dependence while wiring real ones, so the task
@@ -875,6 +1083,9 @@ impl TaskBuilder<'_> {
                     let tasks = std::mem::take(&mut *buffer);
                     drop(buffer);
                     inner.flush_tasks(&group_state, tasks);
+                } else {
+                    drop(buffer);
+                    inner.notify_buffered(&group_state);
                 }
             }
         }
@@ -884,6 +1095,207 @@ impl TaskBuilder<'_> {
         task.pending_deps.fetch_sub(1, Ordering::AcqRel);
         inner.try_enqueue(&task);
         id
+    }
+}
+
+/// One task of a batched spawn: the accurate body plus the optional
+/// per-task clauses of the programming model (`approxfun`, `significant`).
+///
+/// Batched tasks are footprint-free by design: a task declaring `in`/`out`
+/// keys needs an individual dependence-tracker registration, which is
+/// exactly the per-task cost batching exists to amortise — spawn those
+/// through [`Runtime::task`] instead.
+#[must_use = "a batch task does nothing until handed to a batch spawn"]
+pub struct BatchTask {
+    accurate: TaskBody,
+    approximate: Option<TaskBody>,
+    significance: Significance,
+}
+
+impl BatchTask {
+    /// A batch task whose accurate body is `body`, at the default (critical)
+    /// significance.
+    pub fn new<F>(body: F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        BatchTask {
+            accurate: Box::new(body),
+            approximate: None,
+            significance: Significance::default(),
+        }
+    }
+
+    /// `approxfun(function)` — the approximate body.
+    pub fn approx<F>(mut self, body: F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.approximate = Some(Box::new(body));
+        self
+    }
+
+    /// `significant(expr)` — the task's significance in `[0.0, 1.0]`.
+    pub fn significance(mut self, significance: impl Into<Significance>) -> Self {
+        self.significance = significance.into();
+        self
+    }
+}
+
+impl std::fmt::Debug for BatchTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchTask")
+            .field("significance", &self.significance)
+            .field("has_approx", &self.approximate.is_some())
+            .finish()
+    }
+}
+
+/// The contiguous range of [`TaskId`]s issued to one batched spawn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskIdRange {
+    next: u64,
+    end: u64,
+}
+
+impl TaskIdRange {
+    /// Number of tasks the batch spawned.
+    #[allow(clippy::len_without_is_empty)] // is_empty is provided below
+    pub fn len(&self) -> usize {
+        (self.end - self.next) as usize
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.next == self.end
+    }
+}
+
+impl Iterator for TaskIdRange {
+    type Item = TaskId;
+
+    fn next(&mut self) -> Option<TaskId> {
+        if self.next == self.end {
+            return None;
+        }
+        let id = TaskId(self.next);
+        self.next += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = self.len();
+        (len, Some(len))
+    }
+}
+
+impl ExactSizeIterator for TaskIdRange {}
+
+/// Fluent description of a batched spawn — the amortised counterpart of
+/// [`TaskBuilder`]. All tasks of a batch share a group; bodies added through
+/// [`BatchBuilder::spawn_all`] share the builder's default significance,
+/// while [`BatchTask`] items carry their own clauses.
+///
+/// The whole batch is injected with **per-batch** master-side overhead: one
+/// task-id reservation, one bump of each outstanding counter, one
+/// statistics record, one pass of sticky round-robin chunked queue pushes
+/// (lock-free end to end) and one coalesced wake. Under a GTB policy the
+/// batch enters the group buffer with a single lock acquisition.
+///
+/// ```
+/// use sig_core::{BatchTask, Policy, Runtime};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let rt = Runtime::builder().workers(2).policy(Policy::GtbMaxBuffer).build();
+/// let group = rt.create_group("rows", 0.5);
+/// let ran = Arc::new(AtomicUsize::new(0));
+/// let ids = rt.batch().group(&group).spawn_tasks((0..100u32).map(|i| {
+///     let acc = ran.clone();
+///     let apx = ran.clone();
+///     BatchTask::new(move || { acc.fetch_add(1, Ordering::Relaxed); })
+///         .approx(move || { apx.fetch_add(1, Ordering::Relaxed); })
+///         .significance(((i % 9) + 1) as f64 / 10.0)
+/// }));
+/// assert_eq!(ids.len(), 100);
+/// rt.wait_group(&group);
+/// assert_eq!(ran.load(Ordering::Relaxed), 100);
+/// ```
+#[must_use = "a batch builder does nothing until a spawn method is called"]
+pub struct BatchBuilder<'rt> {
+    runtime: &'rt Runtime,
+    group: Option<GroupId>,
+    significance: Significance,
+    tasks: Vec<BatchTask>,
+}
+
+impl BatchBuilder<'_> {
+    /// `label(...)` by group handle, for every task of the batch.
+    pub fn group(mut self, group: &TaskGroup) -> Self {
+        self.group = Some(group.id);
+        self
+    }
+
+    /// `label(...)` by name; the group is created with a default ratio of
+    /// 1.0 if it does not exist yet.
+    pub fn label(mut self, label: &str) -> Self {
+        let state = self.runtime.inner.groups.get_or_create(label, None);
+        self.group = Some(state.id);
+        self
+    }
+
+    /// Default significance for bodies added through
+    /// [`BatchBuilder::spawn_all`] (individual [`BatchTask`]s override it).
+    pub fn significance(mut self, significance: impl Into<Significance>) -> Self {
+        self.significance = significance.into();
+        self
+    }
+
+    /// Add one pre-described task to the batch (loop-friendly form).
+    pub fn push(&mut self, task: BatchTask) {
+        self.tasks.push(task);
+    }
+
+    /// Add one pre-described task to the batch (fluent form).
+    pub fn task(mut self, task: BatchTask) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// Append `items` to the batch and submit everything.
+    pub fn spawn_tasks(mut self, items: impl IntoIterator<Item = BatchTask>) -> TaskIdRange {
+        self.tasks.extend(items);
+        self.spawn()
+    }
+
+    /// Append one plain accurate `body` per iterator item — each at the
+    /// builder's default significance — and submit everything. The
+    /// `TaskBuilder`-compatible spelling for uniform fine-grained floods.
+    pub fn spawn_all<I, F>(mut self, bodies: I) -> TaskIdRange
+    where
+        I: IntoIterator<Item = F>,
+        F: FnOnce() + Send + 'static,
+    {
+        let significance = self.significance;
+        self.tasks.extend(
+            bodies
+                .into_iter()
+                .map(|body| BatchTask::new(body).significance(significance)),
+        );
+        self.spawn()
+    }
+
+    /// Submit the batch. Returns the contiguous range of issued task ids.
+    pub fn spawn(self) -> TaskIdRange {
+        let inner = &self.runtime.inner;
+        let group_state = match self.group {
+            // Unlabeled batches take the cached global group: no registry
+            // lock on the injection path.
+            None => inner.global_group.clone(),
+            Some(id) if id == GroupId::GLOBAL => inner.global_group.clone(),
+            Some(id) => inner.groups.get(id),
+        };
+        inner.spawn_batch_into(&group_state, self.tasks)
     }
 }
 
@@ -1292,6 +1704,158 @@ mod tests {
         rt.wait_group(&group);
         assert_eq!(counter.load(Ordering::Relaxed), 2000);
         assert_eq!(rt.group_stats(&group).total(), 2000);
+    }
+
+    #[test]
+    fn spawn_batch_runs_everything_under_every_policy() {
+        for policy in [
+            Policy::SignificanceAgnostic,
+            Policy::Gtb { buffer_size: 16 },
+            Policy::GtbMaxBuffer,
+            Policy::Lqh,
+        ] {
+            let rt = count_runtime(policy);
+            let group = rt.create_group("batch", 0.5);
+            let ran = Arc::new(AtomicUsize::new(0));
+            let ids = rt.batch().group(&group).spawn_tasks((0..500u32).map(|i| {
+                let acc = ran.clone();
+                let apx = ran.clone();
+                BatchTask::new(move || {
+                    acc.fetch_add(1, Ordering::Relaxed);
+                })
+                .approx(move || {
+                    apx.fetch_add(1, Ordering::Relaxed);
+                })
+                .significance(((i % 9) + 1) as f64 / 10.0)
+            }));
+            assert_eq!(ids.len(), 500);
+            assert!(!ids.is_empty());
+            rt.wait_group(&group);
+            assert_eq!(ran.load(Ordering::Relaxed), 500, "{policy:?}");
+            let stats = rt.group_stats(&group);
+            assert_eq!(stats.total(), 500, "{policy:?}");
+            assert_eq!(rt.stats().spawned(), 500);
+            if policy == Policy::GtbMaxBuffer {
+                // Batched spawns reach the Max-Buffer classifier intact:
+                // perfect-information ratio, zero inversions.
+                assert_eq!(stats.accurate, 250);
+                assert_eq!(stats.inverted, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_batch_ids_are_contiguous_and_interleave_with_spawn() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let single = rt.task(|| {}).spawn();
+        let batch: Vec<TaskId> = rt
+            .spawn_batch((0..10).map(|_| BatchTask::new(|| {})))
+            .collect();
+        assert_eq!(batch.len(), 10);
+        for pair in batch.windows(2) {
+            assert_eq!(pair[1].index(), pair[0].index() + 1, "contiguous ids");
+        }
+        assert!(batch[0] > single);
+        let after = rt.task(|| {}).spawn();
+        assert!(after > batch[9]);
+        rt.wait_all();
+        assert_eq!(rt.stats().completed(), 12);
+    }
+
+    #[test]
+    fn spawn_all_applies_builder_defaults() {
+        let rt = count_runtime(Policy::GtbMaxBuffer);
+        let group = rt.create_group("all", 1.0);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ids = rt
+            .batch()
+            .group(&group)
+            .significance(0.5)
+            .spawn_all((0..32).map(|_| {
+                let ran = ran.clone();
+                move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        assert_eq!(ids.len(), 32);
+        // Ratio 1.0: everything runs accurately regardless of significance.
+        rt.wait_group(&group);
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+        assert_eq!(rt.group_stats(&group).accurate, 32);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let ids = rt.spawn_batch(std::iter::empty());
+        assert!(ids.is_empty());
+        assert_eq!(ids.len(), 0);
+        rt.wait_all();
+        assert_eq!(rt.stats().spawned(), 0);
+    }
+
+    #[test]
+    fn batch_builder_push_and_task_forms_compose() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut batch = rt.batch().task({
+            let ran = ran.clone();
+            BatchTask::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        for _ in 0..3 {
+            let ran = ran.clone();
+            batch.push(BatchTask::new(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        assert_eq!(batch.spawn().len(), 4);
+        rt.wait_all();
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn mid_barrier_spawn_into_buffering_group_does_not_deadlock() {
+        // A task body spawning into its own (buffering) group while the
+        // barrier is already waiting: the buffered children have no master
+        // left to flush them, so the barrier predicate must re-flush and
+        // the buffering spawn must nudge the blocked waiter.
+        for policy in [Policy::Gtb { buffer_size: 64 }, Policy::GtbMaxBuffer] {
+            let rt = Arc::new(count_runtime(policy));
+            let group = rt.create_group("nested", 1.0);
+            let ran = Arc::new(AtomicUsize::new(0));
+            {
+                let rt2 = rt.clone();
+                let group2 = group.clone();
+                let ran2 = ran.clone();
+                rt.task(move || {
+                    // One per-task spawn and one batch, both from inside a
+                    // worker, both under the open barrier.
+                    let r = ran2.clone();
+                    rt2.task(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .significance(1.0)
+                    .group(&group2)
+                    .spawn();
+                    let ran3 = &ran2;
+                    rt2.batch().group(&group2).spawn_tasks((0..5).map(|_| {
+                        let r = ran3.clone();
+                        BatchTask::new(move || {
+                            r.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .significance(1.0)
+                    }));
+                })
+                .significance(1.0)
+                .group(&group)
+                .spawn();
+            }
+            rt.wait_group(&group);
+            assert_eq!(ran.load(Ordering::Relaxed), 6, "{policy:?}");
+            assert_eq!(rt.group_stats(&group).total(), 7, "{policy:?}");
+        }
     }
 
     #[test]

@@ -302,7 +302,13 @@ impl RuntimeStats {
     }
 
     pub(crate) fn record_spawn(&self) {
-        self.external().spawned.fetch_add(1, Ordering::Relaxed);
+        self.record_spawns(1);
+    }
+
+    /// Record a whole batch of spawns with one counter update — the
+    /// statistics half of the amortised batch-injection pipeline.
+    pub(crate) fn record_spawns(&self, count: usize) {
+        self.external().spawned.fetch_add(count, Ordering::Relaxed);
     }
 
     pub(crate) fn record_execution(&self, worker: usize, mode: ExecutionMode, busy: Duration) {

@@ -1,13 +1,17 @@
 //! Scheduler concurrency stress tests.
 //!
 //! Guards the lock-free hot path: the `claim_enqueue` exactly-once invariant
-//! (no task executed twice or lost), dependence ordering under load, the
-//! per-group accurate-ratio invariants of all four policies, and the
-//! park/unpark wakeup protocol under multi-threaded spawning.
+//! (no task executed twice or lost), dependence ordering under load (through
+//! both the locked and the read-mostly tracker paths), the per-group
+//! accurate-ratio invariants of all four policies, the park/unpark wakeup
+//! protocol under multi-threaded spawning, and the batched spawn pipeline
+//! (mixed `spawn`/`spawn_batch` callers, steal-half redistribution).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use proptest::prelude::*;
 use significance_repro::prelude::*;
 
 const STRESS_TASKS: usize = 100_000;
@@ -79,6 +83,102 @@ fn stress_tasks_execute_exactly_once_under_every_policy() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn stress_mixed_spawn_and_spawn_batch_execute_exactly_once() {
+    // 100k tasks per policy, spawned through a mix of callers: per-task
+    // `spawn`, `spawn_batch` floods of varying batch sizes, and batches
+    // spawned from *inside* a task body (the worker-local deque batch
+    // publish). Exactly-once must hold across all of them.
+    for policy in policies() {
+        let rt = Arc::new(Runtime::builder().workers(8).policy(policy).build());
+        let group = rt.create_group("mixed", 0.5);
+        let executions = Arc::new(AtomicUsize::new(0));
+        let mut spawned = 0usize;
+        let mut batch_toggle = 0usize;
+        while spawned < STRESS_TASKS - 1_000 {
+            // Alternate a per-task burst with a batched flood.
+            if batch_toggle.is_multiple_of(2) {
+                for i in 0..100 {
+                    let acc = executions.clone();
+                    let apx = executions.clone();
+                    rt.task(move || {
+                        acc.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .approx(move || {
+                        apx.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .significance(((i % 9) + 1) as f64 / 10.0)
+                    .group(&group)
+                    .spawn();
+                }
+                spawned += 100;
+            } else {
+                let batch = [16usize, 64, 256, 900][batch_toggle % 4];
+                let executions = &executions;
+                let ids = rt.batch().group(&group).spawn_tasks((0..batch).map(|i| {
+                    let acc = executions.clone();
+                    let apx = executions.clone();
+                    BatchTask::new(move || {
+                        acc.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .approx(move || {
+                        apx.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .significance(((i % 9) + 1) as f64 / 10.0)
+                }));
+                assert_eq!(ids.len(), batch);
+                spawned += batch;
+            }
+            batch_toggle += 1;
+        }
+        // Top up to exactly STRESS_TASKS with a batch spawned from inside a
+        // worker (exercises the local-deque batch publish + steal-half).
+        let remainder = STRESS_TASKS - spawned;
+        {
+            let rt2 = rt.clone();
+            let group2 = group.clone();
+            let executions2 = executions.clone();
+            rt.task(move || {
+                rt2.batch()
+                    .group(&group2)
+                    .spawn_tasks((0..remainder - 1).map(|i| {
+                        let acc = executions2.clone();
+                        let apx = executions2.clone();
+                        BatchTask::new(move || {
+                            acc.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .approx(move || {
+                            apx.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .significance(((i % 9) + 1) as f64 / 10.0)
+                    }));
+            })
+            .approx({
+                let executions = executions.clone();
+                move || {
+                    let _ = executions;
+                }
+            })
+            .significance(1.0)
+            .group(&group)
+            .spawn();
+        }
+        rt.wait_group(&group);
+        let stats = rt.group_stats(&group);
+        // The seeder task itself runs one body but does not bump
+        // `executions`; every other task bumps exactly once.
+        assert_eq!(
+            executions.load(Ordering::Relaxed),
+            STRESS_TASKS - 1,
+            "{policy:?}: lost or duplicated executions across mixed callers"
+        );
+        assert_eq!(stats.total(), STRESS_TASKS, "{policy:?}: stats disagree");
+        assert_eq!(rt.stats().spawned(), STRESS_TASKS);
+        assert_eq!(rt.stats().completed(), STRESS_TASKS);
+        assert_eq!(rt.panicked_tasks(), 0);
     }
 }
 
@@ -205,6 +305,166 @@ fn stress_concurrent_spawners_lose_no_wakeups() {
     rt.wait_all();
     assert_eq!(executions.load(Ordering::Relaxed), SPAWNERS * PER_SPAWNER);
     assert_eq!(rt.stats().completed(), SPAWNERS * PER_SPAWNER);
+}
+
+#[test]
+fn stress_read_mostly_tracker_orders_readers_and_writers() {
+    // Drives the read-mostly last-writer table end to end: writer tasks
+    // advance a key's epoch through the locked path while swarms of
+    // single-key read-only tasks register through the lock-free fast path.
+    // RAW: every reader must observe the value of the writer generation it
+    // was spawned after. WAR: a writer must not run before every reader of
+    // the previous generation finished.
+    const GENERATIONS: usize = 40;
+    const READERS_PER_GEN: usize = 25;
+    for policy in [Policy::SignificanceAgnostic, Policy::Lqh] {
+        let rt = Runtime::builder().workers(8).policy(policy).build();
+        let key = DepKey::named("read-mostly");
+        let value = Arc::new(AtomicUsize::new(0));
+        let readers_done = Arc::new(AtomicUsize::new(0));
+        let war_violations = Arc::new(AtomicUsize::new(0));
+        let raw_violations = Arc::new(AtomicUsize::new(0));
+        for generation in 0..GENERATIONS {
+            {
+                let value = value.clone();
+                let readers_done = readers_done.clone();
+                let war_violations = war_violations.clone();
+                rt.task(move || {
+                    // WAR: all readers of earlier generations completed.
+                    if readers_done.load(Ordering::SeqCst) != generation * READERS_PER_GEN {
+                        war_violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    value.store(generation + 1, Ordering::SeqCst);
+                })
+                .significance(1.0)
+                .writes([key])
+                .spawn();
+            }
+            for _ in 0..READERS_PER_GEN {
+                let value = value.clone();
+                let readers_done = readers_done.clone();
+                let raw_violations = raw_violations.clone();
+                // Single in-key, no out-keys: the lock-free fast path.
+                rt.task(move || {
+                    // RAW: the writer of this generation already ran. (Later
+                    // writers may have run too, so >= not ==.)
+                    if value.load(Ordering::SeqCst) < generation + 1 {
+                        raw_violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    readers_done.fetch_add(1, Ordering::SeqCst);
+                })
+                .significance(1.0)
+                .reads([key])
+                .spawn();
+            }
+        }
+        rt.wait_all();
+        assert_eq!(
+            raw_violations.load(Ordering::SeqCst),
+            0,
+            "{policy:?}: a fast-path reader ran before its writer"
+        );
+        assert_eq!(
+            war_violations.load(Ordering::SeqCst),
+            0,
+            "{policy:?}: a writer ran before the previous readers finished"
+        );
+        assert_eq!(
+            readers_done.load(Ordering::SeqCst),
+            GENERATIONS * READERS_PER_GEN
+        );
+        assert_eq!(rt.panicked_tasks(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Steal-half batch stealing neither duplicates nor drops tasks: a
+    /// flood is seeded onto one worker's deque (spawned from inside a task
+    /// body, so every task lands local), thieves redistribute it in
+    /// steal-half chunks, and every task must still execute exactly once.
+    #[test]
+    fn batch_stealing_never_duplicates_or_drops(
+        workers in 2usize..8,
+        flood in 1usize..3_000,
+        batch in 1usize..512,
+    ) {
+        let rt = Arc::new(
+            Runtime::builder()
+                .workers(workers)
+                .policy(Policy::SignificanceAgnostic)
+                .build(),
+        );
+        let executions = Arc::new(AtomicUsize::new(0));
+        {
+            let rt2 = rt.clone();
+            let executions = executions.clone();
+            rt.task(move || {
+                // Runs on a worker: every batch goes to that worker's own
+                // deque in one publish; the other workers can only get work
+                // by batch stealing.
+                let mut remaining = flood;
+                while remaining > 0 {
+                    let n = remaining.min(batch);
+                    let executions = &executions;
+                    rt2.spawn_batch((0..n).map(|_| {
+                        let counter = executions.clone();
+                        BatchTask::new(move || {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        })
+                    }));
+                    remaining -= n;
+                }
+            })
+            .spawn();
+        }
+        rt.wait_all();
+        prop_assert_eq!(executions.load(Ordering::Relaxed), flood);
+        prop_assert_eq!(rt.stats().completed(), flood + 1);
+        prop_assert_eq!(rt.stats().spawned(), flood + 1);
+        prop_assert_eq!(rt.panicked_tasks(), 0);
+    }
+}
+
+#[test]
+fn stress_nested_wait_inside_batched_flood_does_not_hang() {
+    // Regression guard for the coalesced batch wake: a batch lands chunks
+    // on several *parked* workers but wakes only one; a task then blocks in
+    // a nested group barrier whose satisfying tasks sit on the still-parked
+    // workers. Barrier entry must hand off a wake so the pool keeps
+    // draining (a lost wake here hangs this test).
+    for _ in 0..50 {
+        let rt = Arc::new(
+            Runtime::builder()
+                .workers(4)
+                .policy(Policy::SignificanceAgnostic)
+                .build(),
+        );
+        let group = rt.create_group("inner", 1.0);
+        // Give the workers time to park before the flood arrives.
+        std::thread::sleep(Duration::from_millis(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let counter = done.clone();
+            rt.batch().group(&group).spawn_tasks((0..64).map(move |_| {
+                let c = counter.clone();
+                BatchTask::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            }));
+        }
+        {
+            let rt2 = rt.clone();
+            let group2 = group.clone();
+            rt.task(move || {
+                rt2.wait_group(&group2);
+            })
+            .spawn();
+        }
+        rt.wait_all();
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
 }
 
 #[test]
