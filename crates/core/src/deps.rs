@@ -443,6 +443,10 @@ fn push_pred(task: &Arc<Task>, preds: &mut Vec<Arc<Task>>, candidate: &Arc<Task>
 /// never take a lock.
 pub(crate) struct DependenceTracker {
     shards: Box<[CachePadded<TrackerShard>]>,
+    /// Single-key read-only registrations resolved on the lock-free fast
+    /// path. Observability counter (tests assert the fast path stays taken
+    /// under writer churn); not on any decision path.
+    fast_reads: AtomicUsize,
 }
 
 impl DependenceTracker {
@@ -451,7 +455,14 @@ impl DependenceTracker {
             shards: (0..SHARDS)
                 .map(|_| CachePadded::new(TrackerShard::new()))
                 .collect(),
+            fast_reads: AtomicUsize::new(0),
         }
+    }
+
+    /// Number of single-key read-only registrations that resolved without
+    /// taking a shard lock.
+    pub(crate) fn fast_path_reads(&self) -> usize {
+        self.fast_reads.load(Ordering::Relaxed)
     }
 
     /// Register a task's footprint and return its predecessors
@@ -472,6 +483,7 @@ impl DependenceTracker {
         if out_keys.is_empty() {
             if let [key] = in_keys {
                 if let Some(preds) = self.register_read_fast(task, *key) {
+                    self.fast_reads.fetch_add(1, Ordering::Relaxed);
                     return preds;
                 }
                 // First touch of the key: fall through to the locked path,

@@ -1,17 +1,28 @@
-//! Execution environment: per-worker DVFS frequency domains and energy
-//! accounting.
+//! Execution environment: per-worker DVFS frequency domains, idle-state
+//! (race-to-idle) modelling and energy accounting.
 //!
 //! Section 6 of the paper names "DVFS in conjunction with suitable runtime
 //! policies for executing approximate (and more light-weight) task versions
 //! on the slower but also less power-hungry CPUs" as the natural next step
 //! for significance-aware execution. This module is that step, in modelled
-//! form: every worker owns a **frequency domain** (a
-//! [`FrequencyScale`]) and an energy-accounting shard, and a pluggable
-//! [`Governor`] maps each task's significance/policy decision to a frequency
-//! step at dispatch time. Approximate tasks can thus execute under a lower
-//! modelled frequency; their measured runtime is dilated and their dynamic
-//! energy scaled through the `P ∝ f·V²` model of
-//! [`FrequencyScale::apply`].
+//! form — and it models **both** classic energy strategies, not just one:
+//!
+//! * **slow-and-steady** — stretch approximate work over a lower frequency
+//!   step; dynamic energy drops by `dynamic_energy_factor`, the makespan
+//!   dilates;
+//! * **race-to-idle** — run at nominal frequency and drop the core into a
+//!   deep [`SleepState`] for the slack the stretched schedule would have
+//!   burned executing slowly; static and idle power drop instead.
+//!
+//! Which one wins is a property of the power model's static/dynamic split
+//! and the depth of the available sleep state; the [`AdaptiveGovernor`]
+//! computes the crossover per frequency rung and picks sides, with
+//! hysteresis so frequency domains do not thrash (every switch now carries a
+//! modelled [`TransitionCost`]).
+//!
+//! Every worker owns a **frequency domain** and an energy-accounting shard,
+//! and a pluggable [`Governor`] maps each task's significance/policy
+//! decision to a [`DispatchDecision`] at dispatch time.
 //!
 //! # Hot-path discipline
 //!
@@ -22,22 +33,32 @@
 //! the virtual call. Scaled dispatches cache the last
 //! `(frequency ratio → active watts)` pair per worker so the `powf` of the
 //! power model is paid once per frequency *change*, not once per task.
+//! Each shard carries a sequence counter (seqlock): [`ExecutionEnv::report`]
+//! retries a shard whose owner is mid-record, so a report sampled during
+//! execution can never pair this task's dilated busy time with the previous
+//! task's dynamic energy (or vice versa).
 //!
 //! # Accounting model
 //!
 //! Per executed task the environment records the measured busy time, the
 //! *modelled* busy time (measured × time dilation of the chosen frequency)
 //! and the modelled dynamic energy (modelled busy × frequency-scaled active
-//! watts). [`EnergyReport::reading`] combines these with the static and idle
-//! terms of the [`PowerModel`], integrating them over a modelled makespan
-//! that assumes the dilation is load-balanced across workers:
-//! `wall + (modelled busy − measured busy) / workers`.
+//! watts). A race-to-idle dispatch instead executes at nominal and banks the
+//! slack against its reference step as **sleep residency**. [`EnergyReport::reading`]
+//! combines these with the static and idle terms of the [`PowerModel`],
+//! prices sleep residency at the configured [`SleepState`] (gating part of
+//! the sleeping core's share of socket static power), charges wakeups and
+//! DVFS switches through the [`TransitionCost`], and integrates over a
+//! modelled makespan that assumes dilation, residency and transition stalls
+//! are load-balanced across workers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use sig_energy::{EnergyBreakdown, EnergyReading, FrequencyScale, PowerModel};
+use sig_energy::{
+    EnergyBreakdown, EnergyReading, FrequencyScale, PowerModel, SleepState, TransitionCost,
+};
 
 use crate::policy::Policy;
 use crate::significance::Significance;
@@ -48,6 +69,10 @@ use crate::task::ExecutionMode;
 /// for a task that is about to execute.
 #[derive(Debug, Clone, Copy)]
 pub struct DispatchContext {
+    /// Index of the worker the task is about to execute on. Lets stateful
+    /// governors (hysteresis) keep per-domain state without sharing a cache
+    /// line across workers.
+    pub worker: usize,
     /// The task's significance.
     pub significance: Significance,
     /// The accuracy decision the policy made for this task: `true` means the
@@ -60,14 +85,90 @@ pub struct DispatchContext {
     pub group_ratio: f64,
 }
 
-/// Maps a task's significance/policy decision to a frequency step at
+/// A governor's verdict for one dispatch: which frequency the task executes
+/// at, and whether the slack against a reference step is raced into sleep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchDecision {
+    scale: FrequencyScale,
+    race_reference: Option<FrequencyScale>,
+}
+
+impl DispatchDecision {
+    /// Slow-and-steady: execute at `scale`, stretching the work.
+    pub fn stretch(scale: FrequencyScale) -> Self {
+        DispatchDecision {
+            scale,
+            race_reference: None,
+        }
+    }
+
+    /// Execute at nominal frequency with no race: the null decision.
+    pub fn nominal() -> Self {
+        DispatchDecision::stretch(FrequencyScale::nominal())
+    }
+
+    /// Race-to-idle: execute at nominal frequency, then bank the slack
+    /// against `reference` — the step a slow-and-steady schedule would have
+    /// stretched this task over — as sleep residency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is above nominal (there is no slack to race
+    /// for).
+    pub fn race(reference: FrequencyScale) -> Self {
+        assert!(
+            reference.ratio() <= 1.0,
+            "race reference must be at or below nominal, got {}",
+            reference.ratio()
+        );
+        DispatchDecision {
+            scale: FrequencyScale::nominal(),
+            race_reference: Some(reference),
+        }
+    }
+
+    /// The frequency the task actually executes at.
+    pub fn scale(&self) -> FrequencyScale {
+        self.scale
+    }
+
+    /// The reference step a race-to-idle dispatch banks slack against.
+    pub fn race_reference(&self) -> Option<FrequencyScale> {
+        self.race_reference
+    }
+
+    /// Whether this dispatch races to idle.
+    pub fn is_race(&self) -> bool {
+        self.race_reference.is_some()
+    }
+
+    /// Sleep residency earned per second of measured busy time:
+    /// `reference dilation − executed dilation` (zero for stretch
+    /// decisions).
+    pub fn slack_factor(&self) -> f64 {
+        match self.race_reference {
+            Some(reference) => (reference.time_dilation() - self.scale.time_dilation()).max(0.0),
+            None => 0.0,
+        }
+    }
+}
+
+/// Maps a task's significance/policy decision to an energy strategy at
 /// dispatch time.
 ///
-/// Implementations must be cheap and side-effect free: the method is called
-/// on the worker hot path, once per executed task.
+/// Implementations must be cheap and `Sync`: the methods are called on the
+/// worker hot path, once per executed task. A governor that only ever
+/// stretches can implement [`Governor::frequency_for`] alone; strategies
+/// that race to idle override [`Governor::decide`].
 pub trait Governor: Send + Sync {
     /// The frequency the dispatched task should (modelled-)execute at.
     fn frequency_for(&self, ctx: &DispatchContext) -> FrequencyScale;
+
+    /// Full decision for the dispatched task. The default wraps
+    /// [`Governor::frequency_for`] in a slow-and-steady stretch.
+    fn decide(&self, ctx: &DispatchContext) -> DispatchDecision {
+        DispatchDecision::stretch(self.frequency_for(ctx))
+    }
 
     /// Short name used in reports.
     fn name(&self) -> &'static str {
@@ -140,6 +241,14 @@ impl Governor for ApproxGovernor {
     }
 }
 
+/// Rung of `steps` (highest frequency first) selected for a significance:
+/// the least significant work lands on the lowest step.
+fn ladder_rung(steps: &[FrequencyScale], significance: Significance) -> usize {
+    let last = steps.len() - 1;
+    let rung = ((1.0 - significance.value()) * last as f64).round() as usize;
+    rung.min(last)
+}
+
 /// Ladder governor: accurate tasks at nominal frequency; approximate tasks
 /// descend a P-state-style frequency ladder with falling significance, so
 /// the least significant work runs at the lowest modelled frequency.
@@ -174,13 +283,319 @@ impl Governor for SignificanceLadderGovernor {
         if ctx.accurate {
             return FrequencyScale::nominal();
         }
-        let last = self.steps.len() - 1;
-        let rung = ((1.0 - ctx.significance.value()) * last as f64).round() as usize;
-        self.steps[rung.min(last)]
+        self.steps[ladder_rung(&self.steps, ctx.significance)]
     }
 
     fn name(&self) -> &'static str {
         "significance-ladder"
+    }
+}
+
+/// Race-to-idle governor: every task executes at nominal frequency;
+/// approximate tasks bank the slack a [`SignificanceLadderGovernor`] would
+/// have stretched them over as deep-sleep residency instead. The pure
+/// "finish fast, sleep deep" end of the strategy spectrum — it never changes
+/// the frequency domain, so it pays zero DVFS transition costs by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct RaceToIdleGovernor {
+    steps: Vec<FrequencyScale>,
+}
+
+impl RaceToIdleGovernor {
+    /// Build from an explicit reference ladder, highest frequency first
+    /// (the rungs a slow-and-steady schedule would use; slack is banked
+    /// against them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or any step is above nominal.
+    pub fn new(steps: Vec<FrequencyScale>) -> Self {
+        assert!(
+            !steps.is_empty(),
+            "a race-to-idle governor needs at least one reference step"
+        );
+        assert!(
+            steps.iter().all(|s| s.ratio() <= 1.0),
+            "race-to-idle reference steps must be at or below nominal"
+        );
+        RaceToIdleGovernor { steps }
+    }
+
+    /// Build from an evenly spaced reference ladder of `steps` settings down
+    /// to `floor` (see [`FrequencyScale::ladder`]).
+    pub fn with_ladder(steps: usize, floor: f64) -> Self {
+        RaceToIdleGovernor::new(FrequencyScale::ladder(steps, floor))
+    }
+}
+
+impl Governor for RaceToIdleGovernor {
+    fn frequency_for(&self, _ctx: &DispatchContext) -> FrequencyScale {
+        FrequencyScale::nominal()
+    }
+
+    fn decide(&self, ctx: &DispatchContext) -> DispatchDecision {
+        if ctx.accurate {
+            return DispatchDecision::nominal();
+        }
+        let reference = self.steps[ladder_rung(&self.steps, ctx.significance)];
+        if reference.is_nominal() {
+            // No slack at the top rung: a race would only charge a wakeup.
+            return DispatchDecision::nominal();
+        }
+        DispatchDecision::race(reference)
+    }
+
+    fn name(&self) -> &'static str {
+        "race-to-idle"
+    }
+}
+
+/// Per-worker hysteresis state of the [`AdaptiveGovernor`]: the frequency
+/// ratio the domain currently holds and how many dispatches it has served
+/// since it last re-targeted. Single-writer (the owning worker).
+struct DomainState {
+    ratio_bits: AtomicU64,
+    exponent_bits: AtomicU64,
+    since_switch: AtomicU32,
+}
+
+impl DomainState {
+    fn new(hysteresis: u32) -> Self {
+        DomainState {
+            ratio_bits: AtomicU64::new(1.0f64.to_bits()),
+            exponent_bits: AtomicU64::new(2.4f64.to_bits()),
+            // A fresh domain may re-target immediately (no cold-start hold).
+            since_switch: AtomicU32::new(hysteresis),
+        }
+    }
+}
+
+/// Number of per-worker hysteresis slots. Workers beyond this share slots
+/// (hysteresis quality degrades gracefully; correctness is unaffected).
+const ADAPTIVE_DOMAIN_SLOTS: usize = 64;
+
+/// Adaptive energy-strategy governor: per frequency rung, compares the
+/// modelled cost of **slow-and-steady** (stretch at the rung) against
+/// **race-to-idle** (run at nominal, deep-sleep the slack) and picks the
+/// cheaper side. The crossover is decided by the power model's
+/// static/dynamic split:
+///
+/// * dynamic-dominated packages (high power exponent, low static share) —
+///   stretching wins: dynamic energy scales superlinearly down with
+///   frequency while sleeping saves only the small idle/static share;
+/// * static-heavy packages (large `static_watts_per_socket`, shallow power
+///   exponent, deep sleep states) — racing wins: the stretched schedule
+///   keeps the package awake, the race gates leakage off.
+///
+/// Frequency changes carry a [`TransitionCost`], so the governor applies
+/// **hysteresis** as a minimum residency: once a worker's domain re-targets,
+/// it holds that step for at least `hysteresis` dispatches before it may
+/// re-target again. Under any input sequence (of non-accurate tasks) the
+/// governor's step changes are bounded by `dispatches / hysteresis + 1` per
+/// domain — oscillating significance cannot thrash the frequency domain —
+/// while a stable demand is followed immediately. (Accurate tasks always
+/// execute at nominal, bypassing the filter without touching it:
+/// correctness outranks thrash avoidance.)
+pub struct AdaptiveGovernor {
+    steps: Vec<FrequencyScale>,
+    /// Per rung: `true` if race-to-idle is modelled cheaper than stretching.
+    race_rung: Vec<bool>,
+    hysteresis: u32,
+    domains: Box<[CachePadded<DomainState>]>,
+}
+
+impl AdaptiveGovernor {
+    /// Build an adaptive governor.
+    ///
+    /// * `model`, `sleep` — the power model and sleep state the runtime
+    ///   accounts with (the governor's cost comparison must price the same
+    ///   physics the report does);
+    /// * `steps` — the frequency ladder (highest first) used both as
+    ///   stretch targets and race references;
+    /// * `hysteresis` — minimum dispatches a worker's frequency domain
+    ///   holds a step before it may re-target (`1` disables hysteresis);
+    /// * `typical_task_seconds` — expected nominal busy time per task, used
+    ///   to amortise the per-wakeup cost into the race side of the
+    ///   comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or contains a step above nominal,
+    /// `hysteresis` is zero, or `typical_task_seconds` is not positive.
+    pub fn new(
+        model: &PowerModel,
+        sleep: SleepState,
+        steps: Vec<FrequencyScale>,
+        hysteresis: u32,
+        typical_task_seconds: f64,
+    ) -> Self {
+        assert!(!steps.is_empty(), "an adaptive governor needs steps");
+        assert!(
+            steps.iter().all(|s| s.ratio() <= 1.0),
+            "adaptive governor steps must be at or below nominal"
+        );
+        assert!(hysteresis >= 1, "hysteresis must be at least 1");
+        assert!(
+            typical_task_seconds > 0.0,
+            "typical task time must be positive"
+        );
+        let race_rung = steps
+            .iter()
+            .map(|step| {
+                Self::race_watts(step, model, &sleep, typical_task_seconds)
+                    < Self::stretch_watts(step, model)
+            })
+            .collect();
+        AdaptiveGovernor {
+            steps,
+            race_rung,
+            hysteresis,
+            domains: (0..ADAPTIVE_DOMAIN_SLOTS)
+                .map(|_| CachePadded::new(DomainState::new(hysteresis)))
+                .collect(),
+        }
+    }
+
+    /// [`AdaptiveGovernor::new`] over an evenly spaced ladder, with a
+    /// hysteresis of 4 dispatches and 1 ms typical tasks.
+    pub fn with_ladder(model: &PowerModel, sleep: SleepState, steps: usize, floor: f64) -> Self {
+        AdaptiveGovernor::new(model, sleep, FrequencyScale::ladder(steps, floor), 4, 1e-3)
+    }
+
+    /// Modelled watts per second of *nominal* busy time when the work is
+    /// stretched over `step`: `dynamic_energy_factor · active watts` (the
+    /// core is busy for the whole stretched window, so it contributes no
+    /// idle term).
+    fn stretch_watts(step: &FrequencyScale, model: &PowerModel) -> f64 {
+        step.dynamic_energy_factor() * model.active_watts_per_core
+    }
+
+    /// Modelled watts per second of nominal busy time when the work races
+    /// and sleeps the slack against `step`: nominal active watts, plus the
+    /// slack priced at sleep power net of the gated static share, plus the
+    /// wake cost amortised over a typical task.
+    fn race_watts(
+        step: &FrequencyScale,
+        model: &PowerModel,
+        sleep: &SleepState,
+        typical_task_seconds: f64,
+    ) -> f64 {
+        let slack = step.time_dilation() - 1.0;
+        // Net draw per slack second: sleep power minus the static power the
+        // state gates off. Negative when gating outweighs residency draw —
+        // the static-heavy regime where racing deeper rungs saves *more*.
+        // Same terms [`EnergyReport::reading`] prices residency with.
+        let slack_watts =
+            sleep.watts_per_core - sleep.static_fraction_saved * model.static_watts_per_core();
+        model.active_watts_per_core
+            + slack * slack_watts
+            + sleep.wake_joules(model) / typical_task_seconds
+    }
+
+    /// Whether the governor would race (rather than stretch) work landing on
+    /// rung `index` of its ladder. Exposed for conformance tests and
+    /// benchmarks.
+    pub fn prefers_race(&self, index: usize) -> bool {
+        self.race_rung.get(index).copied().unwrap_or(false)
+    }
+
+    /// The governor's frequency ladder.
+    pub fn steps(&self) -> &[FrequencyScale] {
+        &self.steps
+    }
+
+    /// The configured hysteresis depth.
+    pub fn hysteresis(&self) -> u32 {
+        self.hysteresis
+    }
+
+    fn domain(&self, worker: usize) -> &DomainState {
+        &self.domains[worker % ADAPTIVE_DOMAIN_SLOTS]
+    }
+
+    /// Run `desired` through the worker's hysteresis filter: once the
+    /// domain re-targets it must serve at least `hysteresis` dispatches at
+    /// that step before it may re-target again (a minimum residency — the
+    /// rate limit that bounds transitions under oscillating inputs).
+    fn filtered(&self, worker: usize, desired: DispatchDecision) -> DispatchDecision {
+        let domain = self.domain(worker);
+        let current_bits = domain.ratio_bits.load(Ordering::Relaxed);
+        let desired_bits = desired.scale().ratio().to_bits();
+        let since = domain
+            .since_switch
+            .load(Ordering::Relaxed)
+            .saturating_add(1);
+        if desired_bits == current_bits {
+            domain.since_switch.store(since, Ordering::Relaxed);
+            return desired;
+        }
+        if since >= self.hysteresis {
+            domain.ratio_bits.store(desired_bits, Ordering::Relaxed);
+            domain.exponent_bits.store(
+                desired.scale().power_exponent().to_bits(),
+                Ordering::Relaxed,
+            );
+            domain.since_switch.store(0, Ordering::Relaxed);
+            return desired;
+        }
+        domain.since_switch.store(since, Ordering::Relaxed);
+        // Hold the domain at its current step (same ratio *and* exponent, so
+        // held dispatches price dynamic energy exactly like the step they
+        // hold).
+        DispatchDecision::stretch(FrequencyScale::with_exponent(
+            f64::from_bits(current_bits),
+            f64::from_bits(domain.exponent_bits.load(Ordering::Relaxed)),
+        ))
+    }
+}
+
+impl std::fmt::Debug for AdaptiveGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveGovernor")
+            .field("steps", &self.steps.len())
+            .field("race_rung", &self.race_rung)
+            .field("hysteresis", &self.hysteresis)
+            .finish()
+    }
+}
+
+impl Governor for AdaptiveGovernor {
+    /// Stateless preview of the step the governor targets for `ctx`,
+    /// ignoring hysteresis (race rungs preview as nominal — that is where
+    /// they execute). Only [`AdaptiveGovernor::decide`] commits hysteresis
+    /// state; calling this does not advance any domain.
+    fn frequency_for(&self, ctx: &DispatchContext) -> FrequencyScale {
+        if ctx.accurate {
+            return FrequencyScale::nominal();
+        }
+        let rung = ladder_rung(&self.steps, ctx.significance);
+        if self.race_rung[rung] {
+            FrequencyScale::nominal()
+        } else {
+            self.steps[rung]
+        }
+    }
+
+    fn decide(&self, ctx: &DispatchContext) -> DispatchDecision {
+        if ctx.accurate {
+            // Critical/accurate work always executes at nominal, bypassing
+            // hysteresis (a held lower step would scale a critical task).
+            return DispatchDecision::nominal();
+        }
+        let rung = ladder_rung(&self.steps, ctx.significance);
+        let reference = self.steps[rung];
+        if self.race_rung[rung] && !reference.is_nominal() {
+            // Racing executes at nominal: that is a domain change like any
+            // other, so it goes through the same hysteresis filter.
+            let filtered = self.filtered(ctx.worker, DispatchDecision::race(reference));
+            return filtered;
+        }
+        self.filtered(ctx.worker, DispatchDecision::stretch(reference))
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
     }
 }
 
@@ -196,16 +611,25 @@ fn mode_index(mode: ExecutionMode) -> usize {
 
 /// One worker's frequency domain and energy counters.
 struct EnvShard {
+    /// Seqlock: odd while the owning worker is mid-record. Readers retry, so
+    /// a report never pairs this task's busy time with the previous task's
+    /// joules.
+    seq: AtomicU64,
     /// Measured busy nanoseconds (wall-clock spent in task bodies).
     real_busy_nanos: AtomicU64,
     /// Modelled busy nanoseconds (measured × time dilation), per mode.
     modelled_busy_nanos: [AtomicU64; MODES],
     /// Modelled dynamic energy in nanojoules.
     dynamic_nanojoules: AtomicU64,
+    /// Modelled deep-sleep residency earned by race-to-idle dispatches, in
+    /// nanoseconds.
+    sleep_nanos: AtomicU64,
+    /// Sleep entries (each charges one wake transition).
+    sleep_entries: AtomicU64,
     /// Tasks dispatched below nominal frequency.
     scaled_tasks: AtomicU64,
-    /// Frequency-domain switches (a real DVFS implementation would pay a
-    /// transition latency here).
+    /// Frequency-domain switches (each charges the configured
+    /// [`TransitionCost`]).
     transitions: AtomicU64,
     /// Current frequency ratio of this worker's domain, as `f64` bits.
     domain_bits: AtomicU64,
@@ -218,9 +642,12 @@ struct EnvShard {
 impl EnvShard {
     fn new() -> Self {
         EnvShard {
+            seq: AtomicU64::new(0),
             real_busy_nanos: AtomicU64::new(0),
             modelled_busy_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
             dynamic_nanojoules: AtomicU64::new(0),
+            sleep_nanos: AtomicU64::new(0),
+            sleep_entries: AtomicU64::new(0),
             scaled_tasks: AtomicU64::new(0),
             transitions: AtomicU64::new(0),
             domain_bits: AtomicU64::new(1.0f64.to_bits()),
@@ -230,28 +657,66 @@ impl EnvShard {
     }
 }
 
-/// The runtime's execution environment: power model, governor and the
-/// per-worker frequency/energy shards.
-pub(crate) struct ExecutionEnv {
+/// Consistent field snapshot of one shard (see [`EnvShard::seq`]).
+struct ShardSnapshot {
+    real_busy_nanos: u64,
+    modelled_busy_nanos: [u64; MODES],
+    dynamic_nanojoules: u64,
+    sleep_nanos: u64,
+    sleep_entries: u64,
+    scaled_tasks: u64,
+    transitions: u64,
+    domain_bits: u64,
+}
+
+/// The runtime's execution environment: power model, governor, transition
+/// and sleep models, and the per-worker frequency/energy shards.
+///
+/// Public so governor implementations can be driven **standalone** — the
+/// governor conformance kit (`tests/governor_conformance.rs`) scripts
+/// dispatch/record sequences with synthetic durations against an
+/// `ExecutionEnv` and checks the shared invariants deterministically,
+/// without a live scheduler underneath.
+pub struct ExecutionEnv {
     model: PowerModel,
     governor: Arc<dyn Governor>,
     /// `true` iff the governor always answers nominal — lets dispatch skip
     /// the virtual call and all domain bookkeeping.
     passthrough: bool,
     nominal_watts: f64,
+    sleep: Option<SleepState>,
+    transition_cost: TransitionCost,
     shards: Box<[CachePadded<EnvShard>]>,
 }
 
 impl ExecutionEnv {
     /// `shards` should be the worker count: dispatch/record only ever run on
-    /// worker threads (the spawn path never executes bodies). Out-of-range
-    /// worker indices clamp to the last shard defensively.
-    pub(crate) fn new(model: PowerModel, governor: Arc<dyn Governor>, shards: usize) -> Self {
+    /// worker threads (the spawn path never executes bodies), and each
+    /// shard's counters assume a **single writer** — its owning worker.
+    /// Out-of-range worker indices panic: silently clamping would let two
+    /// writers share the last shard, and a second writer breaks the
+    /// single-writer seqlock (two entries leave the sequence even while
+    /// both are mid-record, so a concurrent report could accept a torn
+    /// snapshot).
+    ///
+    /// `sleep` is the state race-to-idle residency is priced at (`None`
+    /// prices residency like ordinary shallow idle, with no static gating
+    /// and free wakeups); `transition_cost` is charged per frequency-domain
+    /// switch.
+    pub fn new(
+        model: PowerModel,
+        governor: Arc<dyn Governor>,
+        sleep: Option<SleepState>,
+        transition_cost: TransitionCost,
+        shards: usize,
+    ) -> Self {
         ExecutionEnv {
             nominal_watts: model.active_watts_per_core,
             passthrough: governor.is_passthrough(),
             model,
             governor,
+            sleep,
+            transition_cost,
             shards: (0..shards.max(1))
                 .map(|_| CachePadded::new(EnvShard::new()))
                 .collect(),
@@ -259,24 +724,30 @@ impl ExecutionEnv {
     }
 
     fn shard(&self, worker: usize) -> &EnvShard {
-        &self.shards[worker.min(self.shards.len() - 1)]
+        assert!(
+            worker < self.shards.len(),
+            "worker index {worker} out of range for {} shards (each shard is single-writer: \
+             sharing one would break its snapshot seqlock)",
+            self.shards.len()
+        );
+        &self.shards[worker]
     }
 
-    /// Choose the frequency for a task about to execute on `worker` and
-    /// update the worker's frequency domain. Lock-free; one relaxed
+    /// Choose the energy strategy for a task about to execute on `worker`
+    /// and update the worker's frequency domain. Lock-free; one relaxed
     /// load/store pair when the frequency is unchanged.
-    pub(crate) fn dispatch(&self, worker: usize, ctx: &DispatchContext) -> FrequencyScale {
+    pub fn dispatch(&self, worker: usize, ctx: &DispatchContext) -> DispatchDecision {
         if self.passthrough {
-            return FrequencyScale::nominal();
+            return DispatchDecision::nominal();
         }
-        let scale = self.governor.frequency_for(ctx);
+        let decision = self.governor.decide(ctx);
         let shard = self.shard(worker);
-        let bits = scale.ratio().to_bits();
+        let bits = decision.scale().ratio().to_bits();
         if shard.domain_bits.load(Ordering::Relaxed) != bits {
             shard.domain_bits.store(bits, Ordering::Relaxed);
             shard.transitions.fetch_add(1, Ordering::Relaxed);
         }
-        scale
+        decision
     }
 
     /// Active watts at `scale`, served from the shard-local cache (single
@@ -298,66 +769,117 @@ impl ExecutionEnv {
     }
 
     /// Account one executed task: `busy` measured wall-time in the body,
-    /// dilated and priced at the frequency chosen at dispatch.
-    pub(crate) fn record(
+    /// dilated and priced at the strategy chosen at dispatch. Must be called
+    /// from the shard's owning worker (single-writer seqlock).
+    pub fn record(
         &self,
         worker: usize,
         mode: ExecutionMode,
         busy: Duration,
-        scale: FrequencyScale,
+        decision: DispatchDecision,
     ) {
         let shard = self.shard(worker);
         let real_nanos = busy.as_nanos().min(u64::MAX as u128) as u64;
-        shard
-            .real_busy_nanos
-            .fetch_add(real_nanos, Ordering::Relaxed);
+        let scale = decision.scale();
         let (modelled_nanos, joules) = if scale.is_nominal() {
             (real_nanos, real_nanos as f64 * 1e-9 * self.nominal_watts)
         } else {
-            shard.scaled_tasks.fetch_add(1, Ordering::Relaxed);
             let modelled = (real_nanos as f64 * scale.time_dilation()) as u64;
             let watts = self.scaled_watts(shard, scale);
             (modelled, modelled as f64 * 1e-9 * watts)
         };
+        let sleep_nanos = (real_nanos as f64 * decision.slack_factor()) as u64;
+
+        // Seqlock write section: readers observing an odd sequence (or a
+        // sequence that moved) retry, so all counters below land atomically
+        // from a report's point of view.
+        let seq = shard.seq.load(Ordering::Relaxed);
+        shard.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+
+        shard
+            .real_busy_nanos
+            .fetch_add(real_nanos, Ordering::Relaxed);
         shard.modelled_busy_nanos[mode_index(mode)].fetch_add(modelled_nanos, Ordering::Relaxed);
         shard
             .dynamic_nanojoules
             .fetch_add((joules * 1e9) as u64, Ordering::Relaxed);
+        if !scale.is_nominal() {
+            shard.scaled_tasks.fetch_add(1, Ordering::Relaxed);
+        }
+        if sleep_nanos > 0 {
+            shard.sleep_nanos.fetch_add(sleep_nanos, Ordering::Relaxed);
+            shard.sleep_entries.fetch_add(1, Ordering::Relaxed);
+        }
+
+        shard.seq.store(seq.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Read one shard's counters consistently: retry while the owning
+    /// worker is inside a record.
+    fn snapshot(shard: &EnvShard) -> ShardSnapshot {
+        loop {
+            let before = shard.seq.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snapshot = ShardSnapshot {
+                real_busy_nanos: shard.real_busy_nanos.load(Ordering::Relaxed),
+                modelled_busy_nanos: std::array::from_fn(|m| {
+                    shard.modelled_busy_nanos[m].load(Ordering::Relaxed)
+                }),
+                dynamic_nanojoules: shard.dynamic_nanojoules.load(Ordering::Relaxed),
+                sleep_nanos: shard.sleep_nanos.load(Ordering::Relaxed),
+                sleep_entries: shard.sleep_entries.load(Ordering::Relaxed),
+                scaled_tasks: shard.scaled_tasks.load(Ordering::Relaxed),
+                transitions: shard.transitions.load(Ordering::Relaxed),
+                domain_bits: shard.domain_bits.load(Ordering::Relaxed),
+            };
+            fence(Ordering::Acquire);
+            if shard.seq.load(Ordering::Relaxed) == before {
+                return snapshot;
+            }
+        }
     }
 
     /// The power model the environment prices energy with.
-    pub(crate) fn model(&self) -> &PowerModel {
+    pub fn model(&self) -> &PowerModel {
         &self.model
     }
 
     /// Fold the shards into an immutable report. `wall_seconds` is the
     /// measured makespan; `workers` the worker-thread count the dilation is
     /// spread over.
-    pub(crate) fn report(&self, wall_seconds: f64, workers: usize) -> EnergyReport {
+    pub fn report(&self, wall_seconds: f64, workers: usize) -> EnergyReport {
         let per_worker: Vec<WorkerEnergy> = self
             .shards
             .iter()
             .enumerate()
             .map(|(index, shard)| {
-                let modelled: [f64; MODES] = std::array::from_fn(|m| {
-                    shard.modelled_busy_nanos[m].load(Ordering::Relaxed) as f64 * 1e-9
-                });
+                let snap = Self::snapshot(shard);
+                let modelled: [f64; MODES] =
+                    std::array::from_fn(|m| snap.modelled_busy_nanos[m] as f64 * 1e-9);
                 WorkerEnergy {
                     worker: index,
-                    busy_seconds: shard.real_busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+                    busy_seconds: snap.real_busy_nanos as f64 * 1e-9,
                     modelled_busy_seconds: modelled.iter().sum(),
                     accurate_busy_seconds: modelled[0],
                     approximate_busy_seconds: modelled[1],
-                    dynamic_joules: shard.dynamic_nanojoules.load(Ordering::Relaxed) as f64 * 1e-9,
-                    scaled_tasks: shard.scaled_tasks.load(Ordering::Relaxed),
-                    frequency_transitions: shard.transitions.load(Ordering::Relaxed),
-                    frequency_ratio: f64::from_bits(shard.domain_bits.load(Ordering::Relaxed)),
+                    dynamic_joules: snap.dynamic_nanojoules as f64 * 1e-9,
+                    sleep_seconds: snap.sleep_nanos as f64 * 1e-9,
+                    sleep_entries: snap.sleep_entries,
+                    scaled_tasks: snap.scaled_tasks,
+                    frequency_transitions: snap.transitions,
+                    frequency_ratio: f64::from_bits(snap.domain_bits),
                 }
             })
             .collect();
         EnergyReport {
             model: self.model,
             governor: self.governor.name().to_string(),
+            sleep_state: self.sleep,
+            transition_cost: self.transition_cost,
             wall_seconds,
             worker_count: workers.max(1),
             workers: per_worker,
@@ -370,6 +892,8 @@ impl std::fmt::Debug for ExecutionEnv {
         f.debug_struct("ExecutionEnv")
             .field("governor", &self.governor.name())
             .field("shards", &self.shards.len())
+            .field("sleep", &self.sleep)
+            .field("transition_cost", &self.transition_cost)
             .finish()
     }
 }
@@ -390,6 +914,10 @@ pub struct WorkerEnergy {
     pub approximate_busy_seconds: f64,
     /// Modelled dynamic (active-core) energy in joules.
     pub dynamic_joules: f64,
+    /// Modelled deep-sleep residency earned by race-to-idle dispatches.
+    pub sleep_seconds: f64,
+    /// Number of sleep entries (wake transitions charged).
+    pub sleep_entries: u64,
     /// Tasks dispatched below nominal frequency.
     pub scaled_tasks: u64,
     /// Number of frequency-domain switches.
@@ -406,6 +934,11 @@ pub struct EnergyReport {
     pub model: PowerModel,
     /// Name of the governor that made the frequency decisions.
     pub governor: String,
+    /// Sleep state race-to-idle residency is priced at (`None`: residency
+    /// is priced like ordinary idle).
+    pub sleep_state: Option<SleepState>,
+    /// Cost charged per frequency-domain switch.
+    pub transition_cost: TransitionCost,
     /// Measured wall-clock seconds since the runtime started.
     pub wall_seconds: f64,
     /// Worker threads the dilation is assumed to spread over.
@@ -435,26 +968,83 @@ impl EnergyReport {
         self.workers.iter().map(|w| w.scaled_tasks).sum()
     }
 
+    /// Total modelled deep-sleep residency across workers, in core-seconds.
+    pub fn sleep_seconds(&self) -> f64 {
+        self.workers.iter().map(|w| w.sleep_seconds).sum()
+    }
+
+    /// Total sleep entries (wake transitions charged) across workers.
+    pub fn sleep_entries(&self) -> u64 {
+        self.workers.iter().map(|w| w.sleep_entries).sum()
+    }
+
+    /// Total frequency-domain switches across workers.
+    pub fn frequency_transitions(&self) -> u64 {
+        self.workers.iter().map(|w| w.frequency_transitions).sum()
+    }
+
+    /// Wall-clock stall charged for frequency switches:
+    /// `switches × transition latency` (in core-seconds, spread over the
+    /// workers by [`EnergyReport::modelled_wall_seconds`]).
+    pub fn transition_stall_seconds(&self) -> f64 {
+        self.frequency_transitions() as f64 * self.transition_cost.latency_seconds
+    }
+
+    /// Energy charged for state transitions: DVFS switches at the configured
+    /// [`TransitionCost`] plus sleep wakeups priced at nominal active power.
+    pub fn transition_joules(&self) -> f64 {
+        let switches = self.frequency_transitions() as f64 * self.transition_cost.energy_joules;
+        let wakes = match &self.sleep_state {
+            Some(sleep) => self.sleep_entries() as f64 * sleep.wake_joules(&self.model),
+            None => 0.0,
+        };
+        switches + wakes
+    }
+
     /// The makespan the model integrates static power over: the measured
-    /// wall time plus the DVFS dilation, assumed load-balanced across the
-    /// workers. Never smaller than the measured wall time.
+    /// wall time plus the DVFS dilation, the banked sleep residency and the
+    /// transition stalls, assumed load-balanced across the workers. Never
+    /// smaller than the measured wall time.
+    ///
+    /// Stretch and race thereby price static power over the **same**
+    /// deadline for the same work — the classic framing of the
+    /// race-to-idle trade-off.
     pub fn modelled_wall_seconds(&self) -> f64 {
-        let extra = (self.modelled_busy_seconds() - self.busy_seconds()).max(0.0);
+        let dilation = (self.modelled_busy_seconds() - self.busy_seconds()).max(0.0);
+        let extra = dilation + self.sleep_seconds() + self.transition_stall_seconds();
         self.wall_seconds + extra / self.worker_count as f64
     }
 
     /// Collapse the report into the workspace-wide [`EnergyReading`] type:
-    /// dynamic joules from the per-task accounting, static and idle joules
-    /// from the power model integrated over the modelled makespan.
+    /// dynamic joules from the per-task accounting; static and idle joules
+    /// from the power model integrated over the modelled makespan, with
+    /// sleep residency priced at the configured [`SleepState`] (gating its
+    /// share of socket static power); transition joules from DVFS switches
+    /// and wakeups.
     pub fn reading(&self) -> EnergyReading {
         let wall = self.modelled_wall_seconds();
         let busy = self.modelled_busy_seconds();
         let capacity = self.model.total_cores() as f64 * wall;
         let clamped_busy = busy.min(capacity);
+        let sleep = self.sleep_seconds().min(capacity - clamped_busy);
         let base = self.model.energy_breakdown(wall, clamped_busy);
+        let (sleep_watts, static_saved_watts) = match &self.sleep_state {
+            Some(state) => (
+                state.watts_per_core,
+                state.static_fraction_saved * self.model.static_watts_per_core(),
+            ),
+            // Without a sleep state, residency is ordinary idle.
+            None => (self.model.idle_watts_per_core, 0.0),
+        };
         let breakdown = EnergyBreakdown {
+            static_joules: (base.static_joules - sleep * static_saved_watts).max(0.0),
             dynamic_joules: self.dynamic_joules(),
-            ..base
+            // The base idle term priced ALL non-busy capacity at idle watts;
+            // re-price the sleeping share at the sleep state's power.
+            idle_joules: (base.idle_joules
+                - sleep * (self.model.idle_watts_per_core - sleep_watts))
+                .max(0.0),
+            transition_joules: self.transition_joules(),
         };
         EnergyReading::from_breakdown(wall, clamped_busy, breakdown)
     }
@@ -465,7 +1055,12 @@ mod tests {
     use super::*;
 
     fn ctx(significance: f64, accurate: bool) -> DispatchContext {
+        ctx_on(0, significance, accurate)
+    }
+
+    fn ctx_on(worker: usize, significance: f64, accurate: bool) -> DispatchContext {
         DispatchContext {
+            worker,
             significance: Significance::new(significance),
             accurate,
             policy: Policy::GtbMaxBuffer,
@@ -474,14 +1069,21 @@ mod tests {
     }
 
     fn env(governor: Arc<dyn Governor>) -> ExecutionEnv {
-        ExecutionEnv::new(PowerModel::for_host(), governor, 3)
+        ExecutionEnv::new(
+            PowerModel::for_host(),
+            governor,
+            None,
+            TransitionCost::free(),
+            3,
+        )
     }
 
     #[test]
     fn nominal_governor_is_passthrough() {
         let e = env(Arc::new(NominalGovernor));
-        let scale = e.dispatch(0, &ctx(0.2, false));
-        assert!(scale.is_nominal());
+        let decision = e.dispatch(0, &ctx(0.2, false));
+        assert!(decision.scale().is_nominal());
+        assert!(!decision.is_race());
         let report = e.report(1.0, 2);
         assert_eq!(report.scaled_tasks(), 0);
         assert_eq!(report.governor, "nominal");
@@ -512,10 +1114,38 @@ mod tests {
     }
 
     #[test]
+    fn race_governor_always_executes_at_nominal() {
+        let g = RaceToIdleGovernor::with_ladder(4, 0.4);
+        let accurate = g.decide(&ctx(0.9, true));
+        assert!(accurate.scale().is_nominal());
+        assert!(!accurate.is_race());
+        let approx = g.decide(&ctx(0.1, false));
+        assert!(approx.scale().is_nominal());
+        assert!(approx.is_race());
+        // Low significance races against a deep reference rung: lots of
+        // slack.
+        assert!(approx.slack_factor() > 1.0);
+        // Top-rung approximate work has no slack: no race, no wake charge.
+        let top = g.decide(&ctx(1.0, false));
+        assert!(!top.is_race());
+    }
+
+    #[test]
+    #[should_panic(expected = "at or below nominal")]
+    fn race_above_nominal_rejected() {
+        let _ = DispatchDecision::race(FrequencyScale::new(1.2));
+    }
+
+    #[test]
     fn record_accumulates_and_dilates() {
         let e = env(Arc::new(ApproxGovernor::new(0.5)));
-        let scale = e.dispatch(0, &ctx(0.2, false));
-        e.record(0, ExecutionMode::Approximate, Duration::from_secs(1), scale);
+        let decision = e.dispatch(0, &ctx(0.2, false));
+        e.record(
+            0,
+            ExecutionMode::Approximate,
+            Duration::from_secs(1),
+            decision,
+        );
         let nominal = e.dispatch(1, &ctx(0.9, true));
         e.record(1, ExecutionMode::Accurate, Duration::from_secs(1), nominal);
         let report = e.report(2.0, 2);
@@ -532,16 +1162,215 @@ mod tests {
     }
 
     #[test]
+    fn race_dispatch_banks_sleep_residency_instead_of_dilating() {
+        let sleep = SleepState::deep();
+        let e = ExecutionEnv::new(
+            PowerModel::for_host(),
+            Arc::new(RaceToIdleGovernor::new(vec![FrequencyScale::new(0.5)])),
+            Some(sleep),
+            TransitionCost::free(),
+            2,
+        );
+        let decision = e.dispatch(0, &ctx(0.2, false));
+        assert!(decision.is_race());
+        e.record(
+            0,
+            ExecutionMode::Approximate,
+            Duration::from_secs(1),
+            decision,
+        );
+        let report = e.report(1.0, 2);
+        // Executed at nominal: no dilation, no scaled task, no transition.
+        assert!((report.modelled_busy_seconds() - 1.0).abs() < 1e-9);
+        assert_eq!(report.scaled_tasks(), 0);
+        assert_eq!(report.frequency_transitions(), 0);
+        // Slack vs the 0.5 reference: one extra second of sleep residency,
+        // spread over the 2 workers in the modelled wall.
+        assert!((report.sleep_seconds() - 1.0).abs() < 1e-6);
+        assert_eq!(report.sleep_entries(), 1);
+        assert!((report.modelled_wall_seconds() - 1.5).abs() < 1e-6);
+        // One wake is charged in the transition column.
+        let wake = sleep.wake_joules(&PowerModel::for_host());
+        assert!((report.transition_joules() - wake).abs() < 1e-12);
+        let reading = report.reading();
+        assert!((reading.breakdown.transition_joules - wake).abs() < 1e-12);
+    }
+
+    #[test]
+    fn racing_into_deep_sleep_beats_plain_idle_residency() {
+        let model = PowerModel {
+            sockets: 1,
+            cores_per_socket: 2,
+            static_watts_per_socket: 20.0,
+            active_watts_per_core: 4.0,
+            idle_watts_per_core: 1.5,
+        };
+        let governor = || Arc::new(RaceToIdleGovernor::new(vec![FrequencyScale::new(0.5)]));
+        let run = |sleep: Option<SleepState>| {
+            let e = ExecutionEnv::new(model, governor(), sleep, TransitionCost::free(), 1);
+            let d = e.dispatch(0, &ctx(0.2, false));
+            e.record(0, ExecutionMode::Approximate, Duration::from_secs(1), d);
+            e.report(1.0, 1).reading()
+        };
+        let deep = run(Some(SleepState::deep()));
+        let shallow = run(None);
+        // Same work, same modelled wall; the deep state gates static power
+        // and sleeps below idle watts, so total energy is lower despite the
+        // wake charge.
+        assert!((deep.wall_seconds - shallow.wall_seconds).abs() < 1e-9);
+        assert!(
+            deep.joules < shallow.joules,
+            "deep {} J vs shallow-idle {} J",
+            deep.joules,
+            shallow.joules
+        );
+        assert!(deep.breakdown.static_joules < shallow.breakdown.static_joules);
+        assert!(deep.breakdown.idle_joules < shallow.breakdown.idle_joules);
+    }
+
+    #[test]
+    fn transition_costs_extend_wall_and_charge_energy() {
+        let cost = TransitionCost::new(0.25, 0.125);
+        let e = ExecutionEnv::new(
+            PowerModel::for_host(),
+            Arc::new(ApproxGovernor::new(0.5)),
+            None,
+            cost,
+            1,
+        );
+        // nominal→0.5, 0.5→nominal, nominal→0.5: three switches.
+        for accurate in [false, true, false] {
+            let d = e.dispatch(0, &ctx(0.2, accurate));
+            e.record(0, ExecutionMode::Accurate, Duration::from_millis(10), d);
+        }
+        let report = e.report(1.0, 1);
+        assert_eq!(report.frequency_transitions(), 3);
+        assert!((report.transition_stall_seconds() - 0.75).abs() < 1e-12);
+        assert!((report.transition_joules() - 0.375).abs() < 1e-12);
+        // The stall extends the modelled wall.
+        assert!(report.modelled_wall_seconds() > 1.74);
+        let reading = report.reading();
+        assert!((reading.breakdown.transition_joules - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_governor_races_on_static_heavy_models() {
+        // Static-heavy: huge socket static share, shallow (near-linear)
+        // power exponent, deep sleep. Stretching saves almost no dynamic
+        // energy; racing gates static power off.
+        let static_heavy = PowerModel {
+            sockets: 1,
+            cores_per_socket: 4,
+            static_watts_per_socket: 40.0,
+            active_watts_per_core: 6.6,
+            idle_watts_per_core: 2.0,
+        };
+        let steps: Vec<FrequencyScale> = FrequencyScale::ladder(4, 0.4)
+            .into_iter()
+            .map(|s| FrequencyScale::with_exponent(s.ratio(), 1.2))
+            .collect();
+        let g = AdaptiveGovernor::new(&static_heavy, SleepState::deep(), steps, 1, 1e-3);
+        // Deep rungs must prefer racing on this model.
+        assert!(g.prefers_race(3), "{g:?}");
+        let d = g.decide(&ctx(0.0, false));
+        assert!(d.is_race());
+        assert!(d.scale().is_nominal());
+    }
+
+    #[test]
+    fn adaptive_governor_stretches_on_dynamic_heavy_models() {
+        // Dynamic-heavy: the default cubic-ish exponent and modest static
+        // share; stretching wins on every rung.
+        let dynamic_heavy = PowerModel {
+            sockets: 1,
+            cores_per_socket: 4,
+            static_watts_per_socket: 4.0,
+            active_watts_per_core: 6.6,
+            idle_watts_per_core: 0.5,
+        };
+        let g = AdaptiveGovernor::with_ladder(&dynamic_heavy, SleepState::shallow(), 4, 0.4);
+        for rung in 0..4 {
+            assert!(!g.prefers_race(rung), "rung {rung} should stretch: {g:?}");
+        }
+        // The default hysteresis (4) holds the domain at nominal for the
+        // first dissenting dispatches; a steady stream settles on the rung.
+        let d = (0..4).fold(DispatchDecision::nominal(), |_, _| {
+            g.decide(&ctx(0.0, false))
+        });
+        assert!(!d.is_race());
+        assert!((d.scale().ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_governor_never_scales_critical_tasks() {
+        let g = AdaptiveGovernor::with_ladder(&PowerModel::for_host(), SleepState::deep(), 4, 0.4);
+        // Prime the worker's domain onto a low step.
+        for _ in 0..8 {
+            let _ = g.decide(&ctx(0.0, false));
+        }
+        let d = g.decide(&ctx(1.0, true));
+        assert!(d.scale().is_nominal());
+        assert!(!d.is_race());
+    }
+
+    #[test]
+    fn adaptive_hysteresis_bounds_transitions_under_oscillation() {
+        let model = PowerModel {
+            sockets: 1,
+            cores_per_socket: 4,
+            static_watts_per_socket: 4.0,
+            active_watts_per_core: 6.6,
+            idle_watts_per_core: 0.5,
+        };
+        let count_changes = |hysteresis: u32| {
+            let g = AdaptiveGovernor::new(
+                &model,
+                SleepState::shallow(),
+                FrequencyScale::ladder(4, 0.4),
+                hysteresis,
+                1e-3,
+            );
+            let mut last = f64::NAN;
+            let mut changes = 0usize;
+            for i in 0..120 {
+                // Oscillating significance: alternate extreme rungs.
+                let sig = if i % 2 == 0 { 0.95 } else { 0.05 };
+                let ratio = g.decide(&ctx_on(0, sig, false)).scale().ratio();
+                if ratio != last {
+                    changes += 1;
+                    last = ratio;
+                }
+            }
+            changes
+        };
+        let thrash = count_changes(1);
+        let damped = count_changes(8);
+        assert!(
+            thrash > 100,
+            "without hysteresis the oscillation thrashes ({thrash} changes)"
+        );
+        assert!(
+            damped <= 120 / 8 + 1,
+            "hysteresis 8 must bound changes to n/8 + 1, got {damped}"
+        );
+    }
+
+    #[test]
     fn scaled_dynamic_energy_is_cheaper_per_work_unit() {
         let slow = env(Arc::new(ApproxGovernor::new(0.5)));
-        let scale = slow.dispatch(0, &ctx(0.2, false));
-        slow.record(0, ExecutionMode::Approximate, Duration::from_secs(1), scale);
+        let decision = slow.dispatch(0, &ctx(0.2, false));
+        slow.record(
+            0,
+            ExecutionMode::Approximate,
+            Duration::from_secs(1),
+            decision,
+        );
         let fast = env(Arc::new(NominalGovernor));
         fast.record(
             0,
             ExecutionMode::Accurate,
             Duration::from_secs(1),
-            FrequencyScale::nominal(),
+            DispatchDecision::nominal(),
         );
         // Same measured work: the scaled run's dynamic energy must be lower
         // (dynamic_energy_factor < 1 for the default exponent).
@@ -573,12 +1402,18 @@ mod tests {
             active_watts_per_core: 4.0,
             idle_watts_per_core: 1.0,
         };
-        let e = ExecutionEnv::new(model, Arc::new(NominalGovernor), 2);
+        let e = ExecutionEnv::new(
+            model,
+            Arc::new(NominalGovernor),
+            None,
+            TransitionCost::free(),
+            2,
+        );
         e.record(
             0,
             ExecutionMode::Accurate,
             Duration::from_secs(1),
-            FrequencyScale::nominal(),
+            DispatchDecision::nominal(),
         );
         let report = e.report(1.0, 2);
         let reading = report.reading();
@@ -586,5 +1421,74 @@ mod tests {
         assert!((reading.joules - 15.0).abs() < 1e-6, "{reading:?}");
         assert!((reading.breakdown.dynamic_joules - 4.0).abs() < 1e-6);
         assert!((reading.average_watts - 15.0).abs() < 1e-6);
+        assert_eq!(reading.breakdown.transition_joules, 0.0);
+    }
+
+    /// Satellite regression: a report sampled while a worker is mid-record
+    /// must never observe a half-applied record — dilated busy time and
+    /// dynamic nanojoules always move together (same seqlock epoch).
+    #[test]
+    fn report_sampled_during_execution_is_consistent() {
+        use std::sync::atomic::AtomicBool;
+
+        let model = PowerModel {
+            sockets: 1,
+            cores_per_socket: 2,
+            static_watts_per_socket: 10.0,
+            active_watts_per_core: 4.0,
+            idle_watts_per_core: 1.0,
+        };
+        // Linear power exponent: scaled watts are exactly 4.0 · 0.5 = 2.0,
+        // so every record adds bit-exact integer nanojoules and the
+        // assertions below tolerate no rounding slack a torn read could
+        // hide in.
+        let step = FrequencyScale::with_exponent(0.5, 1.0);
+        let e = Arc::new(ExecutionEnv::new(
+            model,
+            Arc::new(SignificanceLadderGovernor::new(vec![step])),
+            None,
+            TransitionCost::free(),
+            1,
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let e = e.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let decision = e.dispatch(0, &ctx(0.2, false));
+                assert_eq!(decision.scale().ratio(), 0.5);
+                while !stop.load(Ordering::Relaxed) {
+                    // Every record adds exactly 1 µs real, 2 µs modelled and
+                    // 2 µs × scaled watts of dynamic energy.
+                    e.record(
+                        0,
+                        ExecutionMode::Approximate,
+                        Duration::from_micros(1),
+                        decision,
+                    );
+                }
+            })
+        };
+        let watts = step.scaled_active_watts(&model);
+        for _ in 0..20_000 {
+            let w = &e.report(1.0, 1).workers[0];
+            // Consistent snapshot: the modelled time is exactly twice the
+            // real time, and the dynamic energy prices exactly the modelled
+            // time — in every sample, including mid-execution ones.
+            assert!(
+                (w.modelled_busy_seconds - 2.0 * w.busy_seconds).abs() < 1e-12,
+                "torn busy snapshot: real {} vs modelled {}",
+                w.busy_seconds,
+                w.modelled_busy_seconds
+            );
+            assert!(
+                (w.dynamic_joules - w.modelled_busy_seconds * watts).abs() < 1e-9,
+                "torn energy snapshot: {} J for {} modelled seconds",
+                w.dynamic_joules,
+                w.modelled_busy_seconds
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 }

@@ -67,8 +67,9 @@ pub mod task;
 
 pub use deps::DepKey;
 pub use env::{
-    ApproxGovernor, DispatchContext, EnergyReport, Governor, NominalGovernor,
-    SignificanceLadderGovernor, WorkerEnergy,
+    AdaptiveGovernor, ApproxGovernor, DispatchContext, DispatchDecision, EnergyReport,
+    ExecutionEnv, Governor, NominalGovernor, RaceToIdleGovernor, SignificanceLadderGovernor,
+    WorkerEnergy,
 };
 pub use group::{GroupId, TaskGroup};
 pub use policy::Policy;
@@ -80,12 +81,16 @@ pub use task::{ExecutionMode, TaskId};
 
 // Re-exported so downstream crates that only depend on `sig-core` can name
 // the energy types the execution environment is built from.
-pub use sig_energy::{EnergyBreakdown, EnergyReading, FrequencyScale, PowerModel};
+pub use sig_energy::{
+    EnergyBreakdown, EnergyReading, FrequencyScale, PowerModel, SleepState, TransitionCost,
+};
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::deps::DepKey;
-    pub use crate::env::{ApproxGovernor, Governor, SignificanceLadderGovernor};
+    pub use crate::env::{
+        AdaptiveGovernor, ApproxGovernor, Governor, RaceToIdleGovernor, SignificanceLadderGovernor,
+    };
     pub use crate::group::TaskGroup;
     pub use crate::policy::Policy;
     pub use crate::runtime::{BatchTask, Runtime, RuntimeBuilder, TaskIdRange};
@@ -93,5 +98,5 @@ pub mod prelude {
     pub use crate::significance::Significance;
     pub use crate::task::ExecutionMode;
     pub use crate::{spawn_batch, task, taskwait};
-    pub use sig_energy::FrequencyScale;
+    pub use sig_energy::{FrequencyScale, SleepState, TransitionCost};
 }

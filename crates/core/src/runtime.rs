@@ -64,7 +64,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use sig_energy::PowerModel;
+use sig_energy::{PowerModel, SleepState, TransitionCost};
 
 use crate::deps::{DepKey, DependenceTracker};
 use crate::deque::QueueSet;
@@ -94,6 +94,8 @@ pub struct RuntimeBuilder {
     pin_hint: bool,
     energy_model: Option<PowerModel>,
     governor: Option<Arc<dyn Governor>>,
+    sleep_state: Option<SleepState>,
+    transition_cost: Option<TransitionCost>,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -104,6 +106,8 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("pin_hint", &self.pin_hint)
             .field("energy_model", &self.energy_model)
             .field("governor", &self.governor.as_ref().map(|g| g.name()))
+            .field("sleep_state", &self.sleep_state)
+            .field("transition_cost", &self.transition_cost)
             .finish()
     }
 }
@@ -152,6 +156,25 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sleep state race-to-idle residency is priced at (default: none —
+    /// residency is priced like ordinary shallow idle, with no static
+    /// gating and free wakeups). Pair a deep state with a
+    /// [`crate::env::RaceToIdleGovernor`] or [`crate::env::AdaptiveGovernor`]
+    /// to model "finish fast, sleep deep" execution.
+    pub fn sleep_state(mut self, state: SleepState) -> Self {
+        self.sleep_state = Some(state);
+        self
+    }
+
+    /// Cost charged per DVFS frequency-domain switch (default:
+    /// [`TransitionCost::free`], the idealised pre-transition-model
+    /// accounting). Set [`TransitionCost::typical`] to make governor
+    /// thrashing visible in the energy report.
+    pub fn transition_cost(mut self, cost: TransitionCost) -> Self {
+        self.transition_cost = Some(cost);
+        self
+    }
+
     /// Construct the runtime and start its worker threads.
     pub fn build(self) -> Runtime {
         let workers = self.workers.unwrap_or_else(|| {
@@ -161,7 +184,14 @@ impl RuntimeBuilder {
         });
         let model = self.energy_model.unwrap_or_else(PowerModel::for_host);
         let governor = self.governor.unwrap_or_else(|| Arc::new(NominalGovernor));
-        Runtime::start(workers, self.policy, model, governor)
+        Runtime::start(
+            workers,
+            self.policy,
+            model,
+            governor,
+            self.sleep_state,
+            self.transition_cost.unwrap_or_default(),
+        )
     }
 }
 
@@ -485,12 +515,14 @@ impl RuntimeInner {
             },
         };
 
-        // Pick the frequency domain for this dispatch: approximate tasks may
-        // run under a lower modelled frequency (zero atomics for the default
-        // nominal governor, lock-free always).
-        let scale = self.env.dispatch(
+        // Pick the energy strategy for this dispatch: approximate tasks may
+        // run under a lower modelled frequency, or race at nominal and bank
+        // the slack as sleep residency (zero atomics for the default nominal
+        // governor, lock-free always).
+        let decision = self.env.dispatch(
             worker,
             &DispatchContext {
+                worker,
                 significance: task.significance,
                 accurate,
                 policy: self.policy,
@@ -528,7 +560,7 @@ impl RuntimeInner {
         }
 
         self.stats.record_execution(worker, mode, busy);
-        self.env.record(worker, mode, busy, scale);
+        self.env.record(worker, mode, busy, decision);
         task.group_state
             .stats
             .record(worker, task.significance.level(), mode);
@@ -677,6 +709,8 @@ impl Runtime {
         policy: Policy,
         model: PowerModel,
         governor: Arc<dyn Governor>,
+        sleep_state: Option<SleepState>,
+        transition_cost: TransitionCost,
     ) -> Runtime {
         let groups = GroupRegistry::new(workers + 1);
         let global_group = groups.get(GroupId::GLOBAL);
@@ -688,7 +722,7 @@ impl Runtime {
             global_group,
             tracker: DependenceTracker::new(),
             stats: RuntimeStats::new(workers),
-            env: ExecutionEnv::new(model, governor, workers),
+            env: ExecutionEnv::new(model, governor, sleep_state, transition_cost, workers),
             started: Instant::now(),
             next_task_id: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
@@ -755,6 +789,15 @@ impl Runtime {
     /// tasks counted as completed).
     pub fn panicked_tasks(&self) -> usize {
         self.inner.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Observability counter: single-key read-only footprint registrations
+    /// that the dependence tracker resolved on its lock-free fast path
+    /// (multi-key and writing footprints always take the ordered locked
+    /// path — see `deps.rs` module docs for the cycle hazard that forces
+    /// this). Used by regression tests to pin the fast/slow-path split.
+    pub fn tracker_fast_path_reads(&self) -> usize {
+        self.inner.tracker.fast_path_reads()
     }
 
     /// Create (or look up) a task group with the given label and target

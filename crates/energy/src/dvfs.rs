@@ -59,6 +59,12 @@ impl FrequencyScale {
         self.ratio
     }
 
+    /// The exponent applied to the frequency ratio when scaling active
+    /// power.
+    pub fn power_exponent(&self) -> f64 {
+        self.power_exponent
+    }
+
     /// Whether this scale is the identity (nominal frequency). Used by the
     /// runtime's dispatch hot path to skip all scaling arithmetic.
     pub fn is_nominal(&self) -> bool {
@@ -132,6 +138,67 @@ impl Default for FrequencyScale {
     }
 }
 
+/// Modelled cost of one DVFS frequency-domain switch.
+///
+/// Real frequency transitions are not free: the core stalls while the PLL
+/// relocks and the voltage regulator ramps (tens of microseconds on
+/// contemporary parts), and the ramp itself burns energy. Governors that
+/// thrash between steps pay this per switch; hysteresis exists to bound it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionCost {
+    /// Wall-clock stall per frequency switch, in seconds. Extends the
+    /// modelled makespan of a run by `switches × latency / workers`.
+    pub latency_seconds: f64,
+    /// Energy burned per frequency switch, in joules (regulator ramp + the
+    /// stalled core's draw during the relock).
+    pub energy_joules: f64,
+}
+
+impl TransitionCost {
+    /// Build a transition cost, validating its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is negative.
+    pub fn new(latency_seconds: f64, energy_joules: f64) -> Self {
+        assert!(
+            latency_seconds >= 0.0,
+            "transition latency must be non-negative, got {latency_seconds}"
+        );
+        assert!(
+            energy_joules >= 0.0,
+            "transition energy must be non-negative, got {energy_joules}"
+        );
+        TransitionCost {
+            latency_seconds,
+            energy_joules,
+        }
+    }
+
+    /// Free transitions — the (idealised) accounting of runs that predate
+    /// transition modelling, and the default.
+    pub fn free() -> Self {
+        TransitionCost::new(0.0, 0.0)
+    }
+
+    /// A typical contemporary DVFS transition: ~50 µs relock stall and
+    /// ~150 µJ of ramp energy.
+    pub fn typical() -> Self {
+        TransitionCost::new(50e-6, 150e-6)
+    }
+
+    /// Whether this cost is exactly free (both components zero).
+    pub fn is_free(&self) -> bool {
+        self.latency_seconds == 0.0 && self.energy_joules == 0.0
+    }
+}
+
+impl Default for TransitionCost {
+    fn default() -> Self {
+        TransitionCost::free()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +265,20 @@ mod tests {
         }
         let single = FrequencyScale::ladder(1, 0.5);
         assert!(single[0].is_nominal());
+    }
+
+    #[test]
+    fn transition_cost_defaults_to_free() {
+        assert!(TransitionCost::default().is_free());
+        assert!(!TransitionCost::typical().is_free());
+        assert!(TransitionCost::typical().latency_seconds > 0.0);
+        assert!(TransitionCost::typical().energy_joules > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition latency")]
+    fn negative_transition_latency_rejected() {
+        TransitionCost::new(-1.0, 0.0);
     }
 
     #[test]

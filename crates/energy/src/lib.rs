@@ -26,16 +26,22 @@
 //!   units, used by tests that must be reproducible across machines.
 //!
 //! A DVFS hook ([`FrequencyScale`]) models the paper's future-work scenario
-//! of running approximate tasks on slower, less power-hungry cores.
+//! of running approximate tasks on slower, less power-hungry cores. Two
+//! companion models complete the energy-strategy picture: [`SleepState`]
+//! (per-step sleep power, static gating and wake latency, for race-to-idle
+//! accounting) and [`TransitionCost`] (per-switch DVFS latency/energy, so
+//! frequency thrashing is no longer free).
 
 #![warn(missing_docs)]
 
 pub mod dvfs;
+pub mod idle;
 pub mod meter;
 pub mod power;
 pub mod work;
 
-pub use dvfs::FrequencyScale;
+pub use dvfs::{FrequencyScale, TransitionCost};
+pub use idle::SleepState;
 pub use meter::{BusyGuard, EnergyMeter, EnergyReading};
 pub use power::{EnergyBreakdown, PowerModel};
 pub use work::{WorkClass, WorkUnitMeter, WorkUnitModel};

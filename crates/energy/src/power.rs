@@ -65,6 +65,17 @@ impl PowerModel {
         self.sockets * self.cores_per_socket
     }
 
+    /// One core's share of its socket's static power, in watts — the amount
+    /// a sleep state's `static_fraction_saved` gates off per sleeping core.
+    /// Zero for a degenerate model with no cores.
+    pub fn static_watts_per_core(&self) -> f64 {
+        if self.cores_per_socket > 0 {
+            self.static_watts_per_socket / self.cores_per_socket as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Package power in watts when `busy_cores` cores are executing work and
     /// the remainder are idle.
     ///
@@ -105,13 +116,15 @@ impl PowerModel {
             static_joules: self.sockets as f64 * self.static_watts_per_socket * wall_seconds,
             dynamic_joules: self.active_watts_per_core * busy,
             idle_joules: self.idle_watts_per_core * idle,
+            transition_joules: 0.0,
         }
     }
 }
 
-/// Additive decomposition of a modelled energy window into the three terms of
-/// the affine model. Shared by wall-clock metering ([`crate::EnergyMeter`]),
-/// the runtime's per-worker DVFS accounting, and reports built from either.
+/// Additive decomposition of a modelled energy window into the terms of the
+/// affine model (plus transition costs). Shared by wall-clock metering
+/// ([`crate::EnergyMeter`]), the runtime's per-worker DVFS accounting, and
+/// reports built from either.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
     /// Leakage + uncore energy drawn for the whole window.
@@ -119,14 +132,18 @@ pub struct EnergyBreakdown {
     /// Energy drawn by cores while executing work (the only term DVFS
     /// frequency scaling changes).
     pub dynamic_joules: f64,
-    /// Energy drawn by idle (halted) cores.
+    /// Energy drawn by idle (halted or sleeping) cores.
     pub idle_joules: f64,
+    /// Energy burned by state transitions: DVFS frequency switches and
+    /// sleep-state wakeups. Zero for accounting sources that predate (or do
+    /// not model) transition costs.
+    pub transition_joules: f64,
 }
 
 impl EnergyBreakdown {
-    /// Total joules across the three components.
+    /// Total joules across all components.
     pub fn total(&self) -> f64 {
-        self.static_joules + self.dynamic_joules + self.idle_joules
+        self.static_joules + self.dynamic_joules + self.idle_joules + self.transition_joules
     }
 }
 

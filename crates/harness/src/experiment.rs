@@ -90,6 +90,13 @@ pub struct ExperimentPoint {
     /// per-worker (DVFS-aware) accounting; serial runs fall back to
     /// integrating the experiment's power model over the measured window.
     pub energy_joules: f64,
+    /// Idle (halted or sleeping cores) component of `energy_joules`.
+    pub idle_joules: f64,
+    /// Transition component of `energy_joules`: DVFS switches and sleep
+    /// wakeups. Zero for serial runs.
+    pub transition_joules: f64,
+    /// DVFS frequency-domain switches during the run. Zero for serial runs.
+    pub frequency_transitions: u64,
     /// Output quality (lower is better; PSNR⁻¹ or relative error %).
     pub quality: f64,
     /// Label of the quality metric.
@@ -110,14 +117,14 @@ impl ExperimentPoint {
         run: &RunOutput,
     ) -> Self {
         let quality: QualityScore = benchmark.quality(reference, run);
-        let energy = match &run.energy {
+        let breakdown = match &run.energy {
             // Runtime-driven accounting (per-worker shards, DVFS-aware).
-            Some(reading) => reading.joules,
+            Some(reading) => reading.breakdown,
             // Serial comparators have no runtime; integrate the power model
             // over the measured window instead.
             None => defaults
                 .power_model
-                .energy_joules(run.elapsed.as_secs_f64(), run.busy_core_seconds),
+                .energy_breakdown(run.elapsed.as_secs_f64(), run.busy_core_seconds),
         };
         let accurate_fraction = if run.tasks.total == 0 {
             1.0
@@ -129,7 +136,10 @@ impl ExperimentPoint {
             variant: variant.to_string(),
             degree: degree.map(|d| d.name().to_string()),
             time_seconds: run.elapsed.as_secs_f64(),
-            energy_joules: energy,
+            energy_joules: breakdown.total(),
+            idle_joules: breakdown.idle_joules,
+            transition_joules: breakdown.transition_joules,
+            frequency_transitions: run.frequency_transitions,
             quality: quality.value,
             quality_metric: benchmark.info().metric.label().to_string(),
             accurate_fraction,

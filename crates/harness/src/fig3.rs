@@ -25,6 +25,12 @@ pub struct PerforationQuality {
     /// Modelled energy of the perforated run in joules (power model
     /// integrated over the measured serial window).
     pub energy_joules: f64,
+    /// Idle component of `energy_joules` (serial runs leave all other cores
+    /// halted for the whole window).
+    pub idle_joules: f64,
+    /// Transition component of `energy_joules` — always zero for these
+    /// serial runs, kept so the row shape matches the runtime-driven tables.
+    pub transition_joules: f64,
 }
 
 /// Result of the Figure 3 generation.
@@ -50,32 +56,23 @@ pub fn generate(sobel: &Sobel, defaults: &ExperimentDefaults) -> Fig3Output {
         &sobel.output_image(&p70.values),
         &sobel.output_image(&p100.values),
     );
-    let energy = |run: &sig_kernels::RunOutput| {
-        defaults
+    let level = |dropped: f64, psnr_db: f64, run: &sig_kernels::RunOutput| {
+        let breakdown = defaults
             .power_model
-            .energy_joules(run.elapsed.as_secs_f64(), run.busy_core_seconds)
+            .energy_breakdown(run.elapsed.as_secs_f64(), run.busy_core_seconds);
+        PerforationQuality {
+            dropped_fraction: dropped,
+            psnr_db,
+            energy_joules: breakdown.total(),
+            idle_joules: breakdown.idle_joules,
+            transition_joules: breakdown.transition_joules,
+        }
     };
     let levels = vec![
-        PerforationQuality {
-            dropped_fraction: 0.0,
-            psnr_db: f64::INFINITY,
-            energy_joules: energy(&accurate),
-        },
-        PerforationQuality {
-            dropped_fraction: 0.2,
-            psnr_db: psnr(&accurate.values, &p20.values, 255.0),
-            energy_joules: energy(&p20),
-        },
-        PerforationQuality {
-            dropped_fraction: 0.7,
-            psnr_db: psnr(&accurate.values, &p70.values, 255.0),
-            energy_joules: energy(&p70),
-        },
-        PerforationQuality {
-            dropped_fraction: 1.0,
-            psnr_db: psnr(&accurate.values, &p100.values, 255.0),
-            energy_joules: energy(&p100),
-        },
+        level(0.0, f64::INFINITY, &accurate),
+        level(0.2, psnr(&accurate.values, &p20.values, 255.0), &p20),
+        level(0.7, psnr(&accurate.values, &p70.values, 255.0), &p70),
+        level(1.0, psnr(&accurate.values, &p100.values, 255.0), &p100),
     ];
     Fig3Output { image, levels }
 }

@@ -5,16 +5,20 @@ use crate::experiment::ExperimentPoint;
 /// Render experiment points as CSV (one row per point), with a header.
 pub fn to_csv(points: &[ExperimentPoint]) -> String {
     let mut out = String::from(
-        "benchmark,variant,degree,time_seconds,energy_joules,quality,quality_metric,accurate_fraction\n",
+        "benchmark,variant,degree,time_seconds,energy_joules,idle_joules,transition_joules,\
+         frequency_transitions,quality,quality_metric,accurate_fraction\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{},{:.6},{:.3},{:.6},{},{:.4}\n",
+            "{},{},{},{:.6},{:.3},{:.3},{:.6},{},{:.6},{},{:.4}\n",
             p.benchmark,
             p.variant,
             p.degree.as_deref().unwrap_or("-"),
             p.time_seconds,
             p.energy_joules,
+            p.idle_joules,
+            p.transition_joules,
+            p.frequency_transitions,
             p.quality,
             p.quality_metric,
             p.accurate_fraction
@@ -85,6 +89,9 @@ mod tests {
             degree: Some("Mild".into()),
             time_seconds: 0.123,
             energy_joules: 45.6,
+            idle_joules: 3.2,
+            transition_joules: 0.05,
+            frequency_transitions: 7,
             quality: 0.01,
             quality_metric: "PSNR^-1".into(),
             accurate_fraction: 0.8,

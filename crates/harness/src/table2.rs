@@ -23,6 +23,12 @@ pub struct AccuracyRow {
     /// Modelled energy of the run in joules, from the runtime's own
     /// per-worker accounting.
     pub energy_joules: f64,
+    /// Idle + sleep component of `energy_joules`.
+    pub idle_joules: f64,
+    /// Transition component of `energy_joules` (DVFS switches, wakeups).
+    pub transition_joules: f64,
+    /// DVFS frequency-domain switches during the run.
+    pub frequency_transitions: u64,
 }
 
 /// Run one benchmark at the given degree under one policy and extract the
@@ -59,6 +65,15 @@ pub fn measure_policy(
         inverted_percent: inverted,
         ratio_diff: diff,
         energy_joules: run.energy.map(|r| r.joules).unwrap_or_default(),
+        idle_joules: run
+            .energy
+            .map(|r| r.breakdown.idle_joules)
+            .unwrap_or_default(),
+        transition_joules: run
+            .energy
+            .map(|r| r.breakdown.transition_joules)
+            .unwrap_or_default(),
+        frequency_transitions: run.frequency_transitions,
     }
 }
 
@@ -113,6 +128,11 @@ pub fn render(rows: &[AccuracyRow]) -> String {
                 cell(b, "LQH", &|r| r.energy_joules),
                 cell(b, "GTB", &|r| r.energy_joules),
                 cell(b, "GTB(MaxBuffer)", &|r| r.energy_joules),
+                cell(b, "LQH", &|r| r.transition_joules + r.idle_joules),
+                cell(b, "GTB", &|r| r.transition_joules + r.idle_joules),
+                cell(b, "GTB(MaxBuffer)", &|r| {
+                    r.transition_joules + r.idle_joules
+                }),
             ]
         })
         .collect();
@@ -128,6 +148,9 @@ pub fn render(rows: &[AccuracyRow]) -> String {
             "energy-J LQH",
             "energy-J GTB(UD)",
             "energy-J GTB(MB)",
+            "idle+trans-J LQH",
+            "idle+trans-J GTB(UD)",
+            "idle+trans-J GTB(MB)",
         ],
         &table_rows,
     )
@@ -194,6 +217,9 @@ mod tests {
                 inverted_percent: 2.7,
                 ratio_diff: 0.07,
                 energy_joules: 12.5,
+                idle_joules: 1.5,
+                transition_joules: 0.25,
+                frequency_transitions: 12,
             },
             AccuracyRow {
                 benchmark: "Sobel".into(),
@@ -201,6 +227,9 @@ mod tests {
                 inverted_percent: 0.0,
                 ratio_diff: 0.0,
                 energy_joules: 11.0,
+                idle_joules: 1.0,
+                transition_joules: 0.0,
+                frequency_transitions: 0,
             },
         ];
         let table = render(&rows);

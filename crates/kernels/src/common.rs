@@ -178,6 +178,12 @@ pub struct RunOutput {
     /// (DVFS-aware when a governor is installed); `None` for serial runs,
     /// which have no runtime to account them.
     pub energy: Option<EnergyReading>,
+    /// DVFS frequency-domain switches across all workers (each carries the
+    /// runtime's configured transition cost); zero for serial runs.
+    pub frequency_transitions: u64,
+    /// Modelled deep-sleep residency banked by race-to-idle dispatches, in
+    /// core-seconds; zero for serial runs and stretch-only governors.
+    pub sleep_seconds: f64,
 }
 
 impl RunOutput {
@@ -190,6 +196,8 @@ impl RunOutput {
             tasks: TaskCounts::default(),
             groups: Vec::new(),
             energy: None,
+            frequency_transitions: 0,
+            sleep_seconds: 0.0,
         }
     }
 
@@ -198,6 +206,10 @@ impl RunOutput {
     /// execution environment.
     pub fn from_runtime(rt: &Runtime, values: Vec<f64>, elapsed: Duration) -> Self {
         let stats = rt.stats();
+        // Price static/idle power over the caller-measured makespan, not
+        // the runtime's whole lifetime (which would also bill result
+        // harvesting after the barrier).
+        let report = rt.energy_report_at(elapsed);
         RunOutput {
             values,
             elapsed,
@@ -213,10 +225,9 @@ impl RunOutput {
                 .into_iter()
                 .filter(|(_, snap)| snap.total() > 0)
                 .collect(),
-            // Price static/idle power over the caller-measured makespan, not
-            // the runtime's whole lifetime (which would also bill result
-            // harvesting after the barrier).
-            energy: Some(rt.energy_report_at(elapsed).reading()),
+            frequency_transitions: report.frequency_transitions(),
+            sleep_seconds: report.sleep_seconds(),
+            energy: Some(report.reading()),
         }
     }
 }

@@ -1,0 +1,381 @@
+//! Governor conformance test kit.
+//!
+//! **This file is the template for every future [`Governor`]**: add a row to
+//! [`all_governors`] and the new governor is automatically run through the
+//! shared invariant set every CI run. The invariants are checked at three
+//! levels:
+//!
+//! 1. **decision level** — a grid of dispatch contexts through
+//!    [`Governor::decide`]: critical/accurate tasks are never scaled and
+//!    never raced, no decision overclocks, and no executed frequency step
+//!    increases dynamic energy at fixed work;
+//! 2. **environment level** — a deterministic dispatch/record script through
+//!    the runtime's real [`ExecutionEnv`] accounting (synthetic durations,
+//!    no scheduler noise): busy-seconds conservation across shards, dilation
+//!    monotonicity, dynamic energy bounded by the nominal baseline, and the
+//!    reported transition count matching an independently replayed
+//!    frequency-change count;
+//! 3. **runtime level** — a live workload on the full scheduler: the energy
+//!    shards must conserve the busy seconds the scheduler statistics
+//!    account, and an all-critical group must execute entirely at nominal.
+//!
+//! Property tests additionally pin the [`AdaptiveGovernor`]'s hysteresis
+//! contract: under *any* oscillating significance input, executed-frequency
+//! changes are bounded by `dispatches / hysteresis + 1` per worker domain.
+
+// The vendored proptest shim expands token-by-token; two property blocks
+// with doc comments exceed the default recursion limit.
+#![recursion_limit = "512"]
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use significance_repro::core::{
+    AdaptiveGovernor, ApproxGovernor, DispatchContext, ExecutionEnv, Governor, NominalGovernor,
+    RaceToIdleGovernor, SignificanceLadderGovernor,
+};
+use significance_repro::energy::{PowerModel, SleepState, TransitionCost};
+use significance_repro::prelude::*;
+
+/// Workers used by the deterministic environment scripts.
+const WORKERS: usize = 2;
+/// Hysteresis configured on the adaptive governor under test.
+const HYSTERESIS: u32 = 4;
+
+fn test_model() -> PowerModel {
+    PowerModel {
+        sockets: 1,
+        cores_per_socket: WORKERS,
+        static_watts_per_socket: 10.0,
+        active_watts_per_core: 6.6,
+        idle_watts_per_core: 1.0,
+    }
+}
+
+/// A named governor factory row of the conformance kit.
+type GovernorCase = (&'static str, Box<dyn Fn() -> Arc<dyn Governor>>);
+
+/// The five shipped governors, by factory (stateful governors — the
+/// adaptive's hysteresis domains — need a fresh instance per test).
+///
+/// **Add new governors here** to run them through the whole kit.
+fn all_governors() -> Vec<GovernorCase> {
+    vec![
+        ("nominal", Box::new(|| Arc::new(NominalGovernor))),
+        (
+            "approx-step",
+            Box::new(|| Arc::new(ApproxGovernor::new(0.6))),
+        ),
+        (
+            "significance-ladder",
+            Box::new(|| Arc::new(SignificanceLadderGovernor::with_ladder(4, 0.4))),
+        ),
+        (
+            "race-to-idle",
+            Box::new(|| Arc::new(RaceToIdleGovernor::with_ladder(4, 0.4))),
+        ),
+        (
+            "adaptive",
+            Box::new(|| {
+                Arc::new(AdaptiveGovernor::new(
+                    &test_model(),
+                    SleepState::deep(),
+                    FrequencyScale::ladder(4, 0.4),
+                    HYSTERESIS,
+                    1e-3,
+                ))
+            }),
+        ),
+    ]
+}
+
+fn ctx(worker: usize, significance: f64, accurate: bool) -> DispatchContext {
+    DispatchContext {
+        worker,
+        significance: Significance::new(significance),
+        accurate,
+        policy: Policy::GtbMaxBuffer,
+        group_ratio: 0.5,
+    }
+}
+
+/// Decision-level invariants, shared by every governor:
+/// * accurate (and in particular critical) tasks execute at nominal and are
+///   never raced;
+/// * no decision overclocks (ratio ≤ 1);
+/// * no executed step increases dynamic energy at fixed work
+///   (`dynamic_energy_factor ≤ 1`);
+/// * race decisions have non-negative slack against a reference at or below
+///   nominal.
+#[test]
+fn decisions_respect_shared_invariants_for_all_governors() {
+    for (name, make) in all_governors() {
+        let governor = make();
+        for step in 0..=20 {
+            let significance = step as f64 / 20.0;
+            for worker in [0usize, 1] {
+                for accurate in [true, false] {
+                    let decision = governor.decide(&ctx(worker, significance, accurate));
+                    let scale = decision.scale();
+                    assert!(
+                        scale.ratio() <= 1.0 + 1e-12,
+                        "{name}: decision overclocks at significance {significance}"
+                    );
+                    assert!(
+                        scale.dynamic_energy_factor() <= 1.0 + 1e-12,
+                        "{name}: executed step increases dynamic energy per work unit"
+                    );
+                    if accurate {
+                        assert!(
+                            scale.is_nominal(),
+                            "{name}: accurate task scaled at significance {significance}"
+                        );
+                        assert!(
+                            !decision.is_race(),
+                            "{name}: accurate task raced at significance {significance}"
+                        );
+                    }
+                    if let Some(reference) = decision.race_reference() {
+                        assert!(
+                            reference.ratio() <= 1.0 + 1e-12,
+                            "{name}: race reference above nominal"
+                        );
+                        assert!(
+                            decision.slack_factor() >= 0.0,
+                            "{name}: negative race slack"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The deterministic script every governor's environment run replays: a
+/// cycle of significances with Max-Buffer-style accuracy decisions.
+fn script() -> Vec<(f64, bool)> {
+    (0..200)
+        .map(|i| {
+            let significance = ((i % 9) + 1) as f64 / 10.0;
+            (significance, significance > 0.5)
+        })
+        .collect()
+}
+
+/// Drive one governor through a scripted [`ExecutionEnv`] run. Returns the
+/// environment plus the frequency-change count replayed independently from
+/// the decisions the governor actually returned.
+fn run_script(governor: Arc<dyn Governor>) -> (ExecutionEnv, u64, f64) {
+    let env = ExecutionEnv::new(
+        test_model(),
+        governor,
+        Some(SleepState::deep()),
+        TransitionCost::typical(),
+        WORKERS,
+    );
+    let mut last_ratio = [1.0f64; WORKERS];
+    let mut replayed_changes = 0u64;
+    let mut total_busy = 0.0f64;
+    for (i, (significance, accurate)) in script().into_iter().enumerate() {
+        let worker = i % WORKERS;
+        let decision = env.dispatch(worker, &ctx(worker, significance, accurate));
+        if decision.scale().ratio() != last_ratio[worker] {
+            replayed_changes += 1;
+            last_ratio[worker] = decision.scale().ratio();
+        }
+        let busy_micros = if accurate { 100 } else { 40 };
+        total_busy += busy_micros as f64 * 1e-6;
+        let mode = if accurate {
+            ExecutionMode::Accurate
+        } else {
+            ExecutionMode::Approximate
+        };
+        env.record(
+            worker,
+            mode,
+            std::time::Duration::from_micros(busy_micros),
+            decision,
+        );
+    }
+    (env, replayed_changes, total_busy)
+}
+
+/// Environment-level invariants: busy conservation, dilation monotonicity,
+/// transition-count agreement and the dynamic-energy bound, for all five
+/// governors, deterministically.
+#[test]
+fn environment_accounting_conserves_and_bounds_for_all_governors() {
+    let nominal_watts = test_model().active_watts_per_core;
+    for (name, make) in all_governors() {
+        let (env, replayed_changes, total_busy) = run_script(make());
+        let report = env.report(total_busy / WORKERS as f64, WORKERS);
+
+        // Busy-seconds conservation: the shards fold to exactly what was
+        // recorded.
+        assert!(
+            (report.busy_seconds() - total_busy).abs() < 1e-9,
+            "{name}: shards account {} busy seconds, script recorded {total_busy}",
+            report.busy_seconds()
+        );
+        // Dilation only ever extends modelled time.
+        for worker in &report.workers {
+            assert!(
+                worker.modelled_busy_seconds >= worker.busy_seconds - 1e-12,
+                "{name}: modelled busy below measured on worker {}",
+                worker.worker
+            );
+        }
+        // Transition count matches the frequency-change count replayed from
+        // the governor's own decisions.
+        assert_eq!(
+            report.frequency_transitions(),
+            replayed_changes,
+            "{name}: reported transitions disagree with replayed frequency changes"
+        );
+        // Downscaling at fixed work never increases dynamic energy over the
+        // nominal baseline.
+        let nominal_dynamic = total_busy * nominal_watts;
+        assert!(
+            report.dynamic_joules() <= nominal_dynamic * (1.0 + 1e-9),
+            "{name}: dynamic {} J above the nominal baseline {nominal_dynamic} J",
+            report.dynamic_joules()
+        );
+        // The reading is internally consistent.
+        let reading = report.reading();
+        assert!(
+            (reading.breakdown.total() - reading.joules).abs() < 1e-9,
+            "{name}: breakdown does not sum to total"
+        );
+        assert!(reading.joules > 0.0, "{name}: empty reading");
+    }
+}
+
+/// Runtime-level invariants on the live scheduler: the energy shards
+/// conserve the busy seconds the scheduler statistics account, and an
+/// all-critical group executes entirely at nominal frequency with no race.
+#[test]
+fn runtime_conserves_busy_seconds_and_protects_critical_tasks() {
+    for (name, make) in all_governors() {
+        let rt = Runtime::builder()
+            .workers(WORKERS)
+            .policy(Policy::GtbMaxBuffer)
+            .energy_model(test_model())
+            .governor_arc(make())
+            .sleep_state(SleepState::deep())
+            .transition_cost(TransitionCost::typical())
+            .build();
+        let mixed = rt.create_group("mixed", 0.4);
+        for i in 0..200u32 {
+            rt.task(|| std::thread::sleep(std::time::Duration::from_micros(50)))
+                .approx(|| std::thread::sleep(std::time::Duration::from_micros(20)))
+                .significance(((i % 9) + 1) as f64 / 10.0)
+                .group(&mixed)
+                .spawn();
+        }
+        rt.wait_group(&mixed);
+        let report = rt.energy_report();
+        assert!(
+            (report.busy_seconds() - rt.stats().busy_core_seconds()).abs() < 1e-9,
+            "{name}: energy shards and scheduler stats disagree: {} vs {}",
+            report.busy_seconds(),
+            rt.stats().busy_core_seconds()
+        );
+
+        // Critical tasks: a ratio-0 group of significance-1.0 tasks must not
+        // add a single scaled dispatch (race dispatches execute at nominal
+        // and are likewise excluded by the conformance contract).
+        let scaled_before = report.scaled_tasks();
+        let critical = rt.create_group("critical", 0.0);
+        for _ in 0..50 {
+            rt.task(|| {})
+                .approx(|| {})
+                .significance(1.0)
+                .group(&critical)
+                .spawn();
+        }
+        rt.wait_group(&critical);
+        let after = rt.energy_report();
+        assert_eq!(
+            after.scaled_tasks(),
+            scaled_before,
+            "{name}: critical tasks were dispatched below nominal"
+        );
+        assert_eq!(rt.group_stats(&critical).accurate, 50);
+    }
+}
+
+/// The race-to-idle governor's structural guarantee: it never changes the
+/// frequency domain, so a full script costs zero DVFS transitions while
+/// banking sleep residency for every raced task.
+#[test]
+fn race_to_idle_pays_zero_transitions_and_banks_residency() {
+    let (env, replayed, total_busy) = run_script(Arc::new(RaceToIdleGovernor::with_ladder(4, 0.4)));
+    let report = env.report(total_busy / WORKERS as f64, WORKERS);
+    assert_eq!(replayed, 0);
+    assert_eq!(report.frequency_transitions(), 0);
+    assert!(report.sleep_seconds() > 0.0);
+    assert!(report.sleep_entries() > 0);
+    assert_eq!(report.scaled_tasks(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hysteresis contract: under ANY significance sequence (oscillating
+    /// adversarially or not), the adaptive governor changes a worker
+    /// domain's executed frequency at most `dispatches / hysteresis + 1`
+    /// times.
+    #[test]
+    fn adaptive_hysteresis_bounds_transitions_under_oscillating_significance(
+        significances in proptest::collection::vec(0.0f64..=1.0, 16..200),
+        hysteresis_raw in 1u64..12,
+    ) {
+        let hysteresis = hysteresis_raw as u32;
+        let governor = AdaptiveGovernor::new(
+            &test_model(),
+            SleepState::deep(),
+            FrequencyScale::ladder(4, 0.4),
+            hysteresis,
+            1e-3,
+        );
+        let mut last = 1.0f64;
+        let mut changes = 0u64;
+        for significance in &significances {
+            let decision = governor.decide(&ctx(0, *significance, false));
+            let ratio = decision.scale().ratio();
+            if ratio != last {
+                changes += 1;
+                last = ratio;
+            }
+        }
+        let bound = significances.len() as u64 / hysteresis as u64 + 1;
+        prop_assert!(
+            changes <= bound,
+            "hysteresis {hysteresis}: {changes} changes exceed bound {bound} over {} dispatches",
+            significances.len()
+        );
+    }
+
+    /// Every governor, fuzzed: no decision ever scales an accurate task or
+    /// increases dynamic energy per unit of work.
+    #[test]
+    fn fuzzed_decisions_never_scale_accurate_or_raise_dynamic_energy(
+        significance in 0.0f64..=1.0,
+        worker in 0usize..8,
+        accurate_bit in 0u64..2,
+    ) {
+        let accurate = accurate_bit == 1;
+        for (name, make) in all_governors() {
+            let decision = make().decide(&ctx(worker, significance, accurate));
+            prop_assert!(
+                decision.scale().dynamic_energy_factor() <= 1.0 + 1e-12,
+                "{name}: dynamic energy factor above 1"
+            );
+            if accurate {
+                prop_assert!(decision.scale().is_nominal(), "{name}: accurate task scaled");
+                prop_assert!(!decision.is_race(), "{name}: accurate task raced");
+            }
+        }
+    }
+}

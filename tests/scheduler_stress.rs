@@ -377,6 +377,118 @@ fn stress_read_mostly_tracker_orders_readers_and_writers() {
     }
 }
 
+#[test]
+fn stress_multi_key_read_only_footprints_keep_ordered_locks_and_single_key_stays_fast() {
+    // Regression test for the PR 3 read-mostly tracker restriction:
+    // multi-key read-only footprints must fall back to ordered
+    // whole-footprint locking (non-atomic per-key registration could wire
+    // dependence cycles — this test is the deadlock bait: concurrent
+    // spawner threads register overlapping multi-key read footprints with
+    // their keys declared in *opposing* orders while writers churn the same
+    // keys), and single-key read-only footprints must keep resolving on the
+    // lock-free fast path throughout that churn.
+    const SPAWNERS: usize = 4;
+    const GENERATIONS: usize = 40;
+    const SINGLES_PER_GEN: usize = 5;
+    let rt = Runtime::builder()
+        .workers(8)
+        .policy(Policy::SignificanceAgnostic)
+        .build();
+    let keys = [
+        DepKey::named("ordered-a"),
+        DepKey::named("ordered-b"),
+        DepKey::named("ordered-c"),
+    ];
+    let values: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..keys.len()).map(|_| AtomicUsize::new(0)).collect());
+    let stamp_source = Arc::new(AtomicUsize::new(0));
+    let raw_violations = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for spawner in 0..SPAWNERS {
+            let rt = &rt;
+            let values = values.clone();
+            let stamp_source = stamp_source.clone();
+            let raw_violations = raw_violations.clone();
+            scope.spawn(move || {
+                for generation in 0..GENERATIONS {
+                    // Writer: advances every key to a fresh global stamp
+                    // through the locked multi-key path.
+                    let stamp = stamp_source.fetch_add(1, Ordering::SeqCst) + 1;
+                    {
+                        let values = values.clone();
+                        rt.task(move || {
+                            for value in values.iter() {
+                                value.fetch_max(stamp, Ordering::SeqCst);
+                            }
+                        })
+                        .writes(keys)
+                        .spawn();
+                    }
+                    // Multi-key read-only footprint, key order rotated per
+                    // spawner and generation so concurrent registrants
+                    // declare overlapping keys in opposing orders — the
+                    // dependence-cycle bait the ordered locking defuses.
+                    // RAW: registration happened after this thread's writer
+                    // registration, so every key must already carry `stamp`.
+                    {
+                        let values = values.clone();
+                        let raw_violations = raw_violations.clone();
+                        let rotation = (spawner + generation) % keys.len();
+                        let mut footprint = keys.to_vec();
+                        footprint.rotate_left(rotation);
+                        rt.task(move || {
+                            for value in values.iter() {
+                                if value.load(Ordering::SeqCst) < stamp {
+                                    raw_violations.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                        })
+                        .reads(footprint)
+                        .spawn();
+                    }
+                    // Single-key read-only footprints: the lock-free fast
+                    // path, racing the writer churn above.
+                    for single in 0..SINGLES_PER_GEN {
+                        let values = values.clone();
+                        let raw_violations = raw_violations.clone();
+                        let index = single % keys.len();
+                        rt.task(move || {
+                            if values[index].load(Ordering::SeqCst) < stamp {
+                                raw_violations.fetch_add(1, Ordering::SeqCst);
+                            }
+                        })
+                        .reads([keys[index]])
+                        .spawn();
+                    }
+                }
+            });
+        }
+    });
+    rt.wait_all();
+    assert_eq!(
+        raw_violations.load(Ordering::SeqCst),
+        0,
+        "a read-only footprint ran before the writer it was registered after"
+    );
+    assert_eq!(rt.panicked_tasks(), 0);
+    // The fast-path counter proves the split: every fast resolution was a
+    // single-key read (multi-key footprints must never count), and the
+    // overwhelming majority of single-key reads stayed lock-free despite
+    // the concurrent writer churn (first-touch and reclamation-drain
+    // fallbacks account for the slack).
+    let singles = SPAWNERS * GENERATIONS * SINGLES_PER_GEN;
+    let fast = rt.tracker_fast_path_reads();
+    assert!(
+        fast <= singles,
+        "fast-path count {fast} exceeds the {singles} single-key reads — a multi-key \
+         footprint took the lock-free path"
+    );
+    assert!(
+        fast >= singles / 2,
+        "only {fast} of {singles} single-key reads resolved lock-free under writer churn"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
