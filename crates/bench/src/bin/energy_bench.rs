@@ -362,6 +362,7 @@ fn run_strategy(
                     accurate: task.accurate,
                     policy: Policy::GtbMaxBuffer,
                     group_ratio: 0.5,
+                    deadline_pressure: false,
                 },
             );
             let (mode, busy) = if task.accurate {

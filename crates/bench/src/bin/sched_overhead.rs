@@ -408,10 +408,13 @@ fn run_check(config: &Config, committed_path: &str) -> ! {
         .unwrap_or_else(|e| panic!("cannot read {committed_path}: {e}"));
     let per_task_committed = extract_json_number(&committed, "per_task_spawn_tasks_per_sec")
         .expect("committed report lacks per_task_spawn_tasks_per_sec");
-    let per_task_now = best_throughput(config.tasks, config.reps, || {
+    // Best-of-3 floor even under `--smoke` (reps = 1): a single measurement
+    // is one preemption spike away from a false FAIL on a shared runner.
+    let check_reps = config.reps.max(3);
+    let per_task_now = best_throughput(config.tasks, check_reps, || {
         bench_injection_per_task(config.workers, config.tasks)
     });
-    let batched_now = best_throughput(config.tasks, config.reps, || {
+    let batched_now = best_throughput(config.tasks, check_reps, || {
         bench_injection_batched(config.workers, config.tasks, 256)
     });
     let floor = per_task_committed.min(per_task_now);
@@ -420,12 +423,89 @@ fn run_check(config: &Config, committed_path: &str) -> ! {
         "sched-overhead check: batched(256) now {batched_now:.0} tasks/s vs per-task \
          {per_task_now:.0} now / {per_task_committed:.0} committed (threshold {threshold:.0})"
     );
+    let mut failed = false;
     if batched_now < threshold {
         eprintln!("FAIL: batched spawn regressed below 0.8x the per-task spawn throughput");
-        std::process::exit(1);
+        failed = true;
+    } else {
+        eprintln!("OK: batched spawn holds the per-task floor");
     }
-    eprintln!("OK: batched spawn holds the per-task floor");
-    std::process::exit(0);
+
+    // Robustness-inert guard: a runtime with the overload controller armed
+    // (watermarks out of reach) must stay within 5% of the plain runtime's
+    // throughput — the always-on bookkeeping (overload ticks, cancellation
+    // checks, outcome accounting) is near-free when no robustness feature
+    // fires. Per-task clauses are priced separately by design: `deadline(..)`
+    // costs one clock read and `cancel_token(..)` one refcount at spawn,
+    // paid only by tasks that opt in. The two sides are measured in strict
+    // alternation (plain, robust, plain, robust, ...) and each keeps its
+    // best rep, so slow drift of the host (frequency, co-tenants) hits both
+    // sides equally instead of landing in the ratio. The gate statistic is
+    // the *median of per-pair ratios*: the two runs of a pair share the
+    // same load window, so their ratio is far tighter than any comparison
+    // across the whole session, and the median discards pairs a preemption
+    // spike landed in. A ~5% gate also needs loops long enough that
+    // scheduler jitter stays sub-percent, regardless of any `--smoke`
+    // shrink, so the gate sets its own floor on both knobs.
+    let gate_tasks = config.tasks.max(20_000);
+    let mut plain_best = 0.0f64;
+    let mut robust_best = 0.0f64;
+    let mut ratios = Vec::new();
+    for pair in 0..config.reps.max(10) {
+        // Alternate who goes first so any systematic first/second-slot bias
+        // (allocator warmth, branch predictors, teardown echo) cancels.
+        let (p, r) = if pair.is_multiple_of(2) {
+            let p = bench_runtime(config.workers, gate_tasks, Policy::SignificanceAgnostic);
+            let r = bench_runtime_robust_inert(config.workers, gate_tasks);
+            (p, r)
+        } else {
+            let r = bench_runtime_robust_inert(config.workers, gate_tasks);
+            let p = bench_runtime(config.workers, gate_tasks, Policy::SignificanceAgnostic);
+            (p, r)
+        };
+        let p = gate_tasks as f64 / p.as_secs_f64();
+        let r = gate_tasks as f64 / r.as_secs_f64();
+        plain_best = plain_best.max(p);
+        robust_best = robust_best.max(r);
+        ratios.push(r / p);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let ratio = ratios[ratios.len() / 2];
+    let (plain, robust) = (plain_best, robust_best);
+    eprintln!(
+        "sched-overhead check: robust-inert best {robust:.0} tasks/s vs plain best {plain:.0} \
+         tasks/s (median pairwise {ratio:.3}x, threshold 0.95x)"
+    );
+    if ratio < 0.95 {
+        eprintln!("FAIL: inert robustness bookkeeping costs more than 5%");
+        failed = true;
+    } else {
+        eprintln!("OK: inert robustness bookkeeping within 5%");
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// Full spawn+execute+taskwait throughput with the robustness layer armed
+/// but inert: queue and deadline-miss watermarks configured far out of
+/// reach, so every task pays the always-on bookkeeping (amortised overload
+/// ticks on spawn and execute, the cancellation and shed checks, the
+/// deadline branch, outcome accounting) without any feature firing.
+/// Compared against the plain agnostic runtime from the same run, this
+/// bounds the cost of that bookkeeping for tasks that use no robustness
+/// clause.
+fn bench_runtime_robust_inert(workers: usize, tasks: usize) -> Duration {
+    let rt = Runtime::builder()
+        .workers(workers)
+        .policy(Policy::SignificanceAgnostic)
+        .queue_watermark(1 << 40)
+        .deadline_miss_watermark(1.0)
+        .build();
+    let start = Instant::now();
+    for _ in 0..tasks {
+        rt.task(|| {}).spawn();
+    }
+    rt.wait_all();
+    start.elapsed()
 }
 
 fn bench_runtime(workers: usize, tasks: usize, policy: Policy) -> Duration {

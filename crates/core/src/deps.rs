@@ -209,6 +209,9 @@ struct KeyCell {
     /// Writers registered for the key and not yet completed; drives the
     /// `taskwait on(...)` predicate without any lock.
     outstanding_writes: AtomicUsize,
+    /// Sticky poison flag: set when a task writing the key panicked or was
+    /// cancelled/shed, so dependents can detect they may have read garbage.
+    poisoned: AtomicBool,
 }
 
 impl KeyCell {
@@ -220,6 +223,7 @@ impl KeyCell {
                 readers: ReaderList::new(),
             }))),
             outstanding_writes: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 }
@@ -581,6 +585,34 @@ impl DependenceTracker {
         }
     }
 
+    /// Mark the given output keys poisoned: the task that was to write them
+    /// panicked, was cancelled, or was shed, so any value under the key must
+    /// be treated as garbage. Sticky for the lifetime of the tracker; must be
+    /// called **before** the failed task's successors are released so a
+    /// dependent can never observe its inputs clean.
+    ///
+    /// Poisoning does not replace [`DependenceTracker::complete_writes`]:
+    /// the outstanding-write counters still drain normally so `taskwait
+    /// on(...)` waiters cannot deadlock on a failed writer.
+    pub(crate) fn poison_writes(&self, out_keys: &[DepKey]) {
+        for key in out_keys {
+            self.with_cell(*key, |cell| {
+                if let Some(cell) = cell {
+                    cell.poisoned.store(true, Ordering::SeqCst);
+                }
+            });
+        }
+    }
+
+    /// Whether the key was written (or should have been written) by a task
+    /// that failed. A key never registered is clean.
+    pub(crate) fn is_poisoned(&self, key: DepKey) -> bool {
+        self.with_cell(key, |cell| {
+            cell.map(|cell| cell.poisoned.load(Ordering::SeqCst))
+                .unwrap_or(false)
+        })
+    }
+
     /// Number of not-yet-completed tasks that write the given key.
     /// Lock-free: pins the shard and reads the published counter.
     pub(crate) fn outstanding_writes(&self, key: DepKey) -> usize {
@@ -765,6 +797,29 @@ mod tests {
         tracker.complete_writes(&[key]);
         assert_eq!(tracker.outstanding_writes(key), 0);
         assert_eq!(tracker.outstanding_writes(DepKey::named("other")), 0);
+    }
+
+    #[test]
+    fn poison_is_sticky_and_per_key() {
+        let tracker = DependenceTracker::new();
+        let key = DepKey::named("p");
+        let other = DepKey::named("q");
+        let w = task(0, vec![key]);
+        tracker.register(&w, &[], &[key]);
+        tracker.register(&task(1, vec![other]), &[], &[other]);
+        assert!(!tracker.is_poisoned(key));
+        tracker.poison_writes(&[key]);
+        assert!(tracker.is_poisoned(key));
+        assert!(
+            !tracker.is_poisoned(other),
+            "poison must not leak across keys"
+        );
+        // Completion still drains the counter so `wait_on` cannot hang.
+        tracker.complete_writes(&[key]);
+        assert_eq!(tracker.outstanding_writes(key), 0);
+        assert!(tracker.is_poisoned(key), "poison survives completion");
+        // Unregistered keys are clean.
+        assert!(!tracker.is_poisoned(DepKey::named("never")));
     }
 
     #[test]

@@ -943,8 +943,9 @@ impl QueueSet {
         self.workers.iter().any(WorkerQueue::has_work)
     }
 
-    /// Total queued (issued but not yet started) tasks, racy, for tests.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Total queued (issued but not yet started) tasks, racy. Drives the
+    /// brownout overload controller's queue-depth watermark (amortised:
+    /// sampled once per recompute tick, not per task) and tests.
     pub(crate) fn total_queued(&self) -> usize {
         self.workers
             .iter()

@@ -83,6 +83,11 @@ pub struct DispatchContext {
     pub policy: Policy,
     /// The current accurate-task ratio of the task's group.
     pub group_ratio: f64,
+    /// Whether the task's deadline is endangered (already missed, or the
+    /// runtime is overloaded while the task carries a deadline). The
+    /// environment overrides any scaling decision with a race to nominal —
+    /// "finish fast" beats the governor's energy preference.
+    pub deadline_pressure: bool,
 }
 
 /// A governor's verdict for one dispatch: which frequency the task executes
@@ -740,7 +745,13 @@ impl ExecutionEnv {
         if self.passthrough {
             return DispatchDecision::nominal();
         }
-        let decision = self.governor.decide(ctx);
+        let decision = if ctx.deadline_pressure {
+            // Deadline-endangered tasks race to nominal regardless of the
+            // governor: meeting the deadline dominates the energy policy.
+            DispatchDecision::nominal()
+        } else {
+            self.governor.decide(ctx)
+        };
         let shard = self.shard(worker);
         let bits = decision.scale().ratio().to_bits();
         if shard.domain_bits.load(Ordering::Relaxed) != bits {
@@ -1065,6 +1076,7 @@ mod tests {
             accurate,
             policy: Policy::GtbMaxBuffer,
             group_ratio: 0.5,
+            deadline_pressure: false,
         }
     }
 
@@ -1076,6 +1088,18 @@ mod tests {
             TransitionCost::free(),
             3,
         )
+    }
+
+    #[test]
+    fn deadline_pressure_overrides_scaling_governor() {
+        let e = env(Arc::new(ApproxGovernor::new(0.5)));
+        let mut pressured = ctx(0.2, false);
+        pressured.deadline_pressure = true;
+        let decision = e.dispatch(0, &pressured);
+        assert!(decision.scale().is_nominal());
+        assert!(!decision.is_race());
+        // The same context without pressure is scaled.
+        assert!(!e.dispatch(0, &ctx(0.2, false)).scale().is_nominal());
     }
 
     #[test]

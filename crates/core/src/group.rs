@@ -14,7 +14,7 @@
 //! creation, the GTB spawn buffer).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::stats::GroupStats;
@@ -74,6 +74,9 @@ pub(crate) struct GroupState {
     pub(crate) buffer: Mutex<Vec<Arc<Task>>>,
     /// Execution statistics (Table 2 inputs), sharded per worker.
     pub(crate) stats: GroupStats,
+    /// Cooperative group-wide cancellation: once set, every not-yet-executed
+    /// task of the group is skipped at dequeue time.
+    cancelled: AtomicBool,
 }
 
 impl GroupState {
@@ -90,7 +93,18 @@ impl GroupState {
             barrier: EventCount::default(),
             buffer: Mutex::new(Vec::new()),
             stats: GroupStats::new(stat_shards),
+            cancelled: AtomicBool::new(false),
         }
+    }
+
+    /// Request cooperative cancellation of every outstanding task.
+    pub(crate) fn request_cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether group-wide cancellation has been requested.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 
     /// Current target accurate-task ratio.
@@ -173,6 +187,15 @@ impl GroupRegistry {
     /// newly created groups; for existing groups it is left untouched unless
     /// `ratio` is `Some`.
     pub(crate) fn get_or_create(&self, name: &str, ratio: Option<f64>) -> Arc<GroupState> {
+        if let Some(r) = ratio {
+            // Validated before any lock is taken: an invalid ratio must
+            // panic without poisoning the registry (the runtime's Drop
+            // still walks it to flush GTB buffers during unwinding).
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "accurate-task ratio must be in [0, 1], got {r}"
+            );
+        }
         if let Some(&id) = self.by_name.lock().unwrap().get(name) {
             let group = self.get(id);
             if let Some(r) = ratio {

@@ -55,6 +55,7 @@
 pub mod deps;
 mod deque;
 pub mod env;
+pub mod faults;
 pub mod group;
 mod macros;
 pub mod policy;
@@ -71,13 +72,14 @@ pub use env::{
     ExecutionEnv, Governor, NominalGovernor, RaceToIdleGovernor, SignificanceLadderGovernor,
     WorkerEnergy,
 };
+pub use faults::{FaultAction, FaultPlan};
 pub use group::{GroupId, TaskGroup};
 pub use policy::Policy;
 pub use runtime::{BatchBuilder, BatchTask, Runtime, RuntimeBuilder, TaskBuilder, TaskIdRange};
 pub use shared::{RegionWriter, SharedGrid};
 pub use significance::{Significance, SignificanceLevel, NUM_LEVELS};
-pub use stats::{GroupStatsSnapshot, RuntimeStats};
-pub use task::{ExecutionMode, TaskId};
+pub use stats::{GroupStatsSnapshot, OutcomeSummary, RuntimeStats};
+pub use task::{CancelToken, ExecutionMode, TaskId};
 
 // Re-exported so downstream crates that only depend on `sig-core` can name
 // the energy types the execution environment is built from.
@@ -91,11 +93,14 @@ pub mod prelude {
     pub use crate::env::{
         AdaptiveGovernor, ApproxGovernor, Governor, RaceToIdleGovernor, SignificanceLadderGovernor,
     };
+    pub use crate::faults::{FaultAction, FaultPlan};
     pub use crate::group::TaskGroup;
     pub use crate::policy::Policy;
     pub use crate::runtime::{BatchTask, Runtime, RuntimeBuilder, TaskIdRange};
     pub use crate::shared::SharedGrid;
     pub use crate::significance::Significance;
+    pub use crate::stats::OutcomeSummary;
+    pub use crate::task::CancelToken;
     pub use crate::task::ExecutionMode;
     pub use crate::{spawn_batch, task, taskwait};
     pub use sig_energy::{FrequencyScale, SleepState, TransitionCost};

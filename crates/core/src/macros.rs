@@ -32,7 +32,9 @@
 /// * `significant(expr)` — significance in `[0.0, 1.0]`,
 /// * `approxfun(closure)` — approximate body,
 /// * `label(&group)` — a [`TaskGroup`](crate::TaskGroup) handle,
-/// * `in(iter)` / `out(iter)` — dependence keys.
+/// * `in(iter)` / `out(iter)` — dependence keys,
+/// * `deadline(duration)` — relative deadline from now,
+/// * `cancel(&token)` — a cooperative [`CancelToken`](crate::CancelToken).
 ///
 /// Expands to a [`TaskBuilder`](crate::runtime::TaskBuilder) chain and
 /// returns the spawned [`TaskId`](crate::TaskId).
@@ -62,6 +64,8 @@ macro_rules! task {
     (@clause $builder:expr, label($group:expr)) => { $builder.group($group) };
     (@clause $builder:expr, in($keys:expr)) => { $builder.reads($keys) };
     (@clause $builder:expr, out($keys:expr)) => { $builder.writes($keys) };
+    (@clause $builder:expr, deadline($deadline:expr)) => { $builder.deadline($deadline) };
+    (@clause $builder:expr, cancel($token:expr)) => { $builder.cancel_token($token) };
 }
 
 /// Spawn a whole batch of tasks through the amortised injection pipeline —
@@ -202,6 +206,26 @@ mod tests {
         );
         taskwait!(rt, on(key));
         assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn task_macro_deadline_and_cancel_clauses() {
+        let rt = Runtime::builder().workers(2).build();
+        let token = crate::CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        task!(
+            rt,
+            deadline(std::time::Duration::from_secs(3600)),
+            cancel(&token),
+            body(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            })
+        );
+        let summary = taskwait!(rt);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert!(summary.is_clean());
+        assert_eq!(summary.deadline_misses, 0);
     }
 
     #[test]

@@ -60,21 +60,22 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sig_energy::{PowerModel, SleepState, TransitionCost};
 
 use crate::deps::{DepKey, DependenceTracker};
 use crate::deque::QueueSet;
 use crate::env::{DispatchContext, EnergyReport, ExecutionEnv, Governor, NominalGovernor};
+use crate::faults::{FaultAction, FaultPlan};
 use crate::group::{GroupId, GroupRegistry, GroupState, TaskGroup};
 use crate::policy::{gtb_classify, LqhState, Policy};
 use crate::significance::Significance;
-use crate::stats::{GroupStatsSnapshot, RuntimeStats};
-use crate::sync::{EventCount, Parker};
-use crate::task::{ExecutionMode, Task, TaskBody, TaskId};
+use crate::stats::{GroupStatsSnapshot, OutcomeSummary, RuntimeStats};
+use crate::sync::{CachePadded, EventCount, Parker};
+use crate::task::{CancelToken, ExecutionMode, Task, TaskBody, TaskId};
 
 /// Issues a unique id per runtime so the worker thread-local below can tell
 /// which runtime (if any) the current thread belongs to.
@@ -96,6 +97,9 @@ pub struct RuntimeBuilder {
     governor: Option<Arc<dyn Governor>>,
     sleep_state: Option<SleepState>,
     transition_cost: Option<TransitionCost>,
+    queue_watermark: Option<usize>,
+    miss_watermark: Option<f64>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -108,6 +112,9 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("governor", &self.governor.as_ref().map(|g| g.name()))
             .field("sleep_state", &self.sleep_state)
             .field("transition_cost", &self.transition_cost)
+            .field("queue_watermark", &self.queue_watermark)
+            .field("miss_watermark", &self.miss_watermark)
+            .field("fault_plan", &self.fault_plan)
             .finish()
     }
 }
@@ -175,23 +182,92 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Queue depth (issued but not yet started tasks) at which the brownout
+    /// overload controller begins shedding approximate-tier work (default:
+    /// disabled). The shed threshold grows linearly with the overshoot: at
+    /// twice the watermark every sub-critical task the policy decided to run
+    /// approximately is shed. Accurate-decided and critical tasks are never
+    /// shed.
+    pub fn queue_watermark(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue watermark must be positive");
+        self.queue_watermark = Some(depth);
+        self
+    }
+
+    /// Deadline-miss rate (fraction of completed tasks that finished past
+    /// their deadline, in `[0, 1]`) above which the overload controller
+    /// sheds every sub-critical approximate-tier task (default: disabled).
+    pub fn deadline_miss_watermark(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "deadline-miss watermark must be a finite rate in [0, 1], got {rate}"
+        );
+        self.miss_watermark = Some(rate);
+        self
+    }
+
+    /// Deterministic fault-injection plan applied to every non-system task
+    /// (default: none). Chaos-testing hook; see [`FaultPlan`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Construct the runtime and start its worker threads.
     pub fn build(self) -> Runtime {
-        let workers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-        let model = self.energy_model.unwrap_or_else(PowerModel::for_host);
-        let governor = self.governor.unwrap_or_else(|| Arc::new(NominalGovernor));
-        Runtime::start(
-            workers,
-            self.policy,
-            model,
-            governor,
-            self.sleep_state,
-            self.transition_cost.unwrap_or_default(),
-        )
+        Runtime::start(self)
+    }
+}
+
+/// Brownout overload controller: build-time watermarks plus the current shed
+/// threshold, recomputed amortised (every [`OverloadState::TICK_MASK`]` + 1`
+/// executes per worker) from queue depth and the deadline-miss rate.
+struct OverloadState {
+    /// Queue depth at which shedding starts (`usize::MAX` = disabled).
+    queue_watermark: usize,
+    /// Deadline-miss fraction above which every sub-critical approximate
+    /// tier is shed (`INFINITY` = disabled).
+    miss_watermark: f64,
+    /// Current shed threshold in `[0, 1]`, stored as `f64` bits so the
+    /// execution hot path reads it with one relaxed load. Tasks the policy
+    /// decided to run non-accurately shed iff their significance is strictly
+    /// below the threshold; `0.0` therefore disables shedding outright. On
+    /// its own cache line: read by every worker, written only on recompute.
+    shed_bits: CachePadded<AtomicU64>,
+    /// Precomputed "any watermark configured" flag: the disabled-runtime
+    /// cost of the controller is this one byte load per execute.
+    enabled: bool,
+}
+
+impl OverloadState {
+    /// Recompute the shed threshold once per this many + 1 executes *per
+    /// worker* (the tick counters live in worker-local memory).
+    const TICK_MASK: usize = 31;
+
+    fn new(queue_watermark: Option<usize>, miss_watermark: Option<f64>) -> Self {
+        let queue_watermark = queue_watermark.unwrap_or(usize::MAX);
+        let miss_watermark = miss_watermark.unwrap_or(f64::INFINITY);
+        OverloadState {
+            queue_watermark,
+            miss_watermark,
+            shed_bits: CachePadded::new(AtomicU64::new(0.0f64.to_bits())),
+            enabled: queue_watermark != usize::MAX || miss_watermark.is_finite(),
+        }
+    }
+
+    /// Whether any watermark was configured.
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current shed threshold; one relaxed load.
+    fn threshold(&self) -> f64 {
+        f64::from_bits(self.shed_bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether the controller currently sheds anything at all.
+    fn is_overloaded(&self) -> bool {
+        self.threshold() > 0.0
     }
 }
 
@@ -216,9 +292,16 @@ struct RuntimeInner {
     /// completion atomically even when a task body spawns children into
     /// other groups mid-barrier.
     outstanding: AtomicUsize,
-    /// Task bodies that panicked (caught and counted, never propagated to the
-    /// worker thread).
-    panicked: AtomicUsize,
+    /// Brownout overload controller (watermarks + current shed threshold).
+    overload: OverloadState,
+    /// Deterministic fault-injection plan, if chaos testing is enabled.
+    faults: Option<FaultPlan>,
+    /// Cancelled task-id ranges (`cancel_tasks`). Cold master-side state; the
+    /// execution hot path checks `cancel_active` (one load) before touching
+    /// the lock.
+    cancel_ranges: Mutex<Vec<(u64, u64)>>,
+    /// Whether any id-range cancellation was ever requested.
+    cancel_active: AtomicBool,
     shutdown: AtomicBool,
     /// One parker per worker for targeted wakeups.
     parkers: Box<[Parker]>,
@@ -235,6 +318,82 @@ impl RuntimeInner {
     fn local_worker(&self) -> Option<usize> {
         let (id, index) = CURRENT_WORKER.get();
         (id == self.id).then_some(index)
+    }
+
+    /// Amortised overload recomputation, called from the execute path (the
+    /// only place the shed threshold is consumed, so spawn-side ticks would
+    /// buy nothing: a stale threshold while nothing executes is harmless).
+    /// `tick` is the calling worker's private counter, threaded down from
+    /// its run loop — most calls are one increment of worker-local memory
+    /// with no shared-line traffic at all; every `TICK_MASK + 1`-th call
+    /// per worker recomputes the shed threshold from the current queue
+    /// depth and deadline-miss rate.
+    fn overload_tick(&self, tick: &mut usize) {
+        let overload = &self.overload;
+        if !overload.enabled() {
+            return;
+        }
+        let t = *tick;
+        *tick = t.wrapping_add(1);
+        if t & OverloadState::TICK_MASK != 0 {
+            return;
+        }
+        let mut pressure = 0.0f64;
+        if overload.queue_watermark != usize::MAX {
+            let depth = self.queues.total_queued();
+            if depth > overload.queue_watermark {
+                let watermark = overload.queue_watermark.max(1) as f64;
+                pressure = ((depth - overload.queue_watermark) as f64 / watermark).clamp(0.0, 1.0);
+            }
+        }
+        if overload.miss_watermark.is_finite() {
+            let completed = self.stats.completed();
+            if completed > 0 {
+                let rate = self.stats.deadline_misses() as f64 / completed as f64;
+                if rate > overload.miss_watermark {
+                    pressure = 1.0;
+                }
+            }
+        }
+        overload
+            .shed_bits
+            .store(pressure.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Whether `id` falls in a range cancelled via `Runtime::cancel_tasks`.
+    fn id_cancelled(&self, id: TaskId) -> bool {
+        if !self.cancel_active.load(Ordering::Acquire) {
+            return false;
+        }
+        self.cancel_ranges
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&id.0))
+    }
+
+    /// Abandon a task without running either body: drop the bodies, poison
+    /// its written keys so dependents observe the failure, account it as
+    /// shed (brownout) or cancelled, and run the full completion protocol —
+    /// abandoned tasks still release successors and barriers, keeping the
+    /// exactly-once accounting `spawned == completed + cancelled + shed +
+    /// panicked` intact.
+    fn abandon(&self, task: &Arc<Task>, worker: usize, shed: bool) {
+        // SAFETY: this worker dequeued the task and is its unique executor.
+        unsafe {
+            drop(task.take_accurate());
+            drop(task.take_approximate());
+        }
+        if !task.out_keys.is_empty() {
+            self.tracker.poison_writes(&task.out_keys);
+        }
+        if shed {
+            self.stats.record_shed(worker);
+        } else {
+            task.request_cancel();
+            self.stats.record_cancelled(worker);
+        }
+        self.complete(task);
     }
 
     /// Try to move a task into a worker queue. A task is enqueued exactly
@@ -385,6 +544,8 @@ impl RuntimeInner {
         self: &Arc<Self>,
         group_state: &Arc<GroupState>,
         items: Vec<BatchTask>,
+        deadline_nanos: u64,
+        cancel: Option<CancelToken>,
     ) -> TaskIdRange {
         let n = items.len();
         if n == 0 {
@@ -410,12 +571,16 @@ impl RuntimeInner {
                 Vec::new(),
                 false,
             ));
-            if !buffering {
+            if !buffering || deadline_nanos != 0 || cancel.is_some() {
                 // Primed through `&mut` before sharing: released + enqueued
-                // (+ decided, for the agnostic policy) cost zero atomics.
-                Arc::get_mut(&mut task)
-                    .expect("task not yet shared")
-                    .prime_spawn_enqueued(accurate);
+                // (+ decided, for the agnostic policy) cost zero atomics,
+                // and the batch-wide robustness clauses land for free.
+                let t = Arc::get_mut(&mut task).expect("task not yet shared");
+                if !buffering {
+                    t.prime_spawn_enqueued(accurate);
+                }
+                t.deadline_nanos = deadline_nanos;
+                t.cancel = cancel.clone();
             }
             tasks.push(task);
         }
@@ -491,15 +656,22 @@ impl RuntimeInner {
     /// Execute a task on worker `worker`: make the accuracy decision if it is
     /// still open, run the chosen body, record statistics, then resolve
     /// dependences and barriers. Lock-free on every step.
-    fn execute(&self, task: Arc<Task>, worker: usize, lqh: &mut LqhState) {
+    fn execute(&self, task: Arc<Task>, worker: usize, lqh: &mut LqhState, tick: &mut usize) {
         if task.system {
             // Internal helper tasks (e.g. parallel GTB flush chunks) skip
-            // policy, DVFS and statistics entirely.
+            // policy, DVFS, statistics, cancellation and fault injection
+            // entirely.
             // SAFETY: as below — this worker is the task's unique executor.
             if let Some(body) = unsafe { task.take_accurate() } {
                 self.run_body(body);
             }
             self.complete(&task);
+            return;
+        }
+        // Cooperative cancellation: a task cancelled before it starts (via
+        // its token, its group or an id-range cancel) is skipped entirely.
+        if task.cancel_requested() || self.id_cancelled(task.id) {
+            self.abandon(&task, worker, false);
             return;
         }
         let accurate = match task.decision() {
@@ -515,6 +687,43 @@ impl RuntimeInner {
             },
         };
 
+        // Brownout shedding: under overload, drop work strictly in
+        // significance order — only tasks the policy already decided to run
+        // non-accurately, never critical ones, lowest significance first
+        // (the threshold rises with queue pressure).
+        self.overload_tick(tick);
+        let shed_threshold = self.overload.threshold();
+        if shed_threshold > 0.0
+            && !accurate
+            && !task.significance.is_critical()
+            && task.significance.value() < shed_threshold
+        {
+            self.abandon(&task, worker, true);
+            return;
+        }
+
+        // Deterministic fault injection (chaos testing only; `faults` is
+        // `None` in production configurations).
+        let fault = self.faults.as_ref().and_then(|plan| plan.decide(task.id.0));
+        if let Some(FaultAction::Stall(pause)) = fault {
+            // A stalled worker: the pause happens before the timed window so
+            // it distorts schedules, not per-task busy accounting.
+            std::thread::sleep(pause);
+        }
+        let inject_panic = matches!(fault, Some(FaultAction::Panic));
+
+        // One clock read serves the whole dispatch: the timed window opens
+        // here, and the deadline checks below are pure arithmetic on it.
+        let start = Instant::now();
+
+        // A task whose deadline is endangered (already past, or any deadline
+        // while the runtime is overloaded) races to nominal frequency: the
+        // governor's scaling decision is overridden at dispatch.
+        let deadline = task.deadline_nanos;
+        let started_nanos = (start - self.started).as_nanos() as u64;
+        let deadline_pressure =
+            deadline != 0 && (self.overload.is_overloaded() || started_nanos >= deadline);
+
         // Pick the energy strategy for this dispatch: approximate tasks may
         // run under a lower modelled frequency, or race at nominal and bank
         // the slack as sleep residency (zero atomics for the default nominal
@@ -527,27 +736,32 @@ impl RuntimeInner {
                 accurate,
                 policy: self.policy,
                 group_ratio: task.group_state.ratio(),
+                deadline_pressure,
             },
         );
-
-        let start = Instant::now();
         // SAFETY (all `take_*` calls below): this worker won `claim_enqueue`
         // and dequeued the task, making it the unique executor; nothing else
         // touches the body cells after spawn.
-        let mode = if accurate {
-            if let Some(body) = unsafe { task.take_accurate() } {
-                self.run_body(body);
-            }
-            ExecutionMode::Accurate
+        let (mode, ok) = if accurate {
+            let body = unsafe { task.take_accurate() };
+            (
+                ExecutionMode::Accurate,
+                self.run_or_inject(body, inject_panic),
+            )
         } else {
             match unsafe { task.take_approximate() } {
-                Some(body) => {
-                    self.run_body(body);
-                    ExecutionMode::Approximate
-                }
-                None => ExecutionMode::Dropped,
+                Some(body) => (
+                    ExecutionMode::Approximate,
+                    self.run_or_inject(Some(body), inject_panic),
+                ),
+                None => (ExecutionMode::Dropped, !inject_panic),
             }
         };
+        if let Some(FaultAction::Dilate(extra)) = fault {
+            // Dilated execution: the task "runs long", inside the timed
+            // window, endangering deadlines downstream.
+            std::thread::sleep(extra);
+        }
         let busy = start.elapsed();
 
         // Drop whichever body was not executed *before* completion is
@@ -559,20 +773,55 @@ impl RuntimeInner {
             drop(task.take_approximate());
         }
 
-        self.stats.record_execution(worker, mode, busy);
-        self.env.record(worker, mode, busy, decision);
-        task.group_state
-            .stats
-            .record(worker, task.significance.level(), mode);
+        if deadline != 0 && started_nanos + busy.as_nanos() as u64 > deadline {
+            self.stats.record_deadline_miss(worker);
+        }
+
+        if ok {
+            // Transitive poison: a task that read a poisoned key produced
+            // output derived from failed data — its own writes are suspect.
+            if !task.out_keys.is_empty()
+                && task.in_keys.iter().any(|&k| self.tracker.is_poisoned(k))
+            {
+                self.tracker.poison_writes(&task.out_keys);
+            }
+            self.stats.record_execution(worker, mode, busy);
+            self.env.record(worker, mode, busy, decision);
+            task.group_state
+                .stats
+                .record(worker, task.significance.level(), mode);
+        } else {
+            // The body panicked: mark the task, poison its written keys
+            // *before* completion releases any dependent, and account it
+            // under `panicked` (not `completed`).
+            task.mark_panicked();
+            if !task.out_keys.is_empty() {
+                self.tracker.poison_writes(&task.out_keys);
+            }
+            self.stats.record_panicked(worker, busy);
+            self.env.record(worker, mode, busy, decision);
+            task.group_state.stats.record_panicked(worker);
+        }
         self.complete(&task);
     }
 
-    /// Run a task body, catching panics so one failing task cannot take a
-    /// worker thread (and the whole runtime) down.
-    fn run_body(&self, body: TaskBody) {
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_err() {
-            self.panicked.fetch_add(1, Ordering::Relaxed);
+    /// Run a body (catching panics so one failing task cannot take a worker
+    /// thread down), or simulate an injected panic by dropping it. Returns
+    /// whether the task succeeded.
+    fn run_or_inject(&self, body: Option<TaskBody>, inject_panic: bool) -> bool {
+        match body {
+            Some(body) if inject_panic => {
+                drop(body);
+                false
+            }
+            Some(body) => self.run_body(body),
+            None => true,
         }
+    }
+
+    /// Run a task body, catching panics. Returns `true` on success.
+    fn run_body(&self, body: TaskBody) -> bool {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)).is_ok()
     }
 
     /// Post-execution bookkeeping: wake successors, update dependence and
@@ -622,6 +871,8 @@ impl RuntimeInner {
         self.parkers[index].register();
         CURRENT_WORKER.set((self.id, index));
         let mut lqh = LqhState::new();
+        // Worker-private overload tick counter (see `overload_tick`).
+        let mut overload_tick = 0usize;
         let mut idle_rounds = 0u32;
         loop {
             let popped = self.queues.pop_local(index);
@@ -632,7 +883,7 @@ impl RuntimeInner {
             }
             if let Some(task) = popped.task {
                 idle_rounds = 0;
-                self.execute(task, index, &mut lqh);
+                self.execute(task, index, &mut lqh, &mut overload_tick);
                 continue;
             }
             // Steal-half: the oldest victim task is returned, the rest of
@@ -646,7 +897,7 @@ impl RuntimeInner {
                     // (the batched injector only unparks one worker).
                     self.wake_one_sleeper(index);
                 }
-                self.execute(task, index, &mut lqh);
+                self.execute(task, index, &mut lqh, &mut overload_tick);
                 continue;
             }
             if self.shutdown.load(Ordering::SeqCst) {
@@ -704,14 +955,17 @@ impl Runtime {
         Runtime::builder().policy(policy).build()
     }
 
-    fn start(
-        workers: usize,
-        policy: Policy,
-        model: PowerModel,
-        governor: Arc<dyn Governor>,
-        sleep_state: Option<SleepState>,
-        transition_cost: TransitionCost,
-    ) -> Runtime {
+    fn start(builder: RuntimeBuilder) -> Runtime {
+        let workers = builder.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let policy = builder.policy;
+        let model = builder.energy_model.unwrap_or_else(PowerModel::for_host);
+        let governor = builder
+            .governor
+            .unwrap_or_else(|| Arc::new(NominalGovernor));
         let groups = GroupRegistry::new(workers + 1);
         let global_group = groups.get(GroupId::GLOBAL);
         let inner = Arc::new(RuntimeInner {
@@ -722,11 +976,20 @@ impl Runtime {
             global_group,
             tracker: DependenceTracker::new(),
             stats: RuntimeStats::new(workers),
-            env: ExecutionEnv::new(model, governor, sleep_state, transition_cost, workers),
+            env: ExecutionEnv::new(
+                model,
+                governor,
+                builder.sleep_state,
+                builder.transition_cost.unwrap_or_default(),
+                workers,
+            ),
             started: Instant::now(),
             next_task_id: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
-            panicked: AtomicUsize::new(0),
+            overload: OverloadState::new(builder.queue_watermark, builder.miss_watermark),
+            faults: builder.fault_plan,
+            cancel_ranges: Mutex::new(Vec::new()),
+            cancel_active: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             parkers: (0..workers).map(|_| Parker::default()).collect(),
             sleepers: AtomicUsize::new(0),
@@ -785,10 +1048,48 @@ impl Runtime {
         self.inner.env.model()
     }
 
-    /// Number of task bodies that panicked (the panics are caught and the
-    /// tasks counted as completed).
+    /// Number of task bodies that panicked. The panics are caught, the tasks
+    /// accounted under [`OutcomeSummary::panicked`] (not `completed`), and
+    /// any keys they write poisoned — see [`Runtime::is_poisoned`].
     pub fn panicked_tasks(&self) -> usize {
-        self.inner.panicked.load(Ordering::Relaxed)
+        self.inner.stats.panicked()
+    }
+
+    /// Terminal-outcome summary across the whole runtime: every spawned task
+    /// ends in exactly one of completed / cancelled / panicked / shed, and
+    /// after a barrier the books balance ([`OutcomeSummary::failed`] +
+    /// `completed == spawned`).
+    pub fn outcomes(&self) -> OutcomeSummary {
+        self.inner.stats.outcomes()
+    }
+
+    /// Whether `key` was written by a failed (panicked, cancelled or shed)
+    /// task, directly or transitively. Poison is sticky: once set, readers
+    /// of the key never observe it clean again.
+    pub fn is_poisoned(&self, key: DepKey) -> bool {
+        self.inner.tracker.is_poisoned(key)
+    }
+
+    /// Cooperatively cancel every not-yet-started task in `range` (ids from
+    /// a batched spawn). Tasks already executing run to completion; tasks
+    /// still queued are abandoned at dequeue time and accounted under
+    /// [`OutcomeSummary::cancelled`].
+    pub fn cancel_tasks(&self, range: &TaskIdRange) {
+        if range.is_empty() {
+            return;
+        }
+        self.inner
+            .cancel_ranges
+            .lock()
+            .unwrap()
+            .push((range.next, range.end));
+        self.inner.cancel_active.store(true, Ordering::Release);
+    }
+
+    /// Cooperatively cancel every not-yet-started task of `group` (current
+    /// and future spawns into it). See [`Runtime::cancel_tasks`].
+    pub fn cancel_group(&self, group: &TaskGroup) {
+        self.inner.groups.get(group.id).request_cancel();
     }
 
     /// Observability counter: single-key read-only footprint registrations
@@ -835,6 +1136,8 @@ impl Runtime {
             group: None,
             in_keys: Vec::new(),
             out_keys: Vec::new(),
+            deadline_nanos: 0,
+            cancel: None,
         }
     }
 
@@ -848,6 +1151,8 @@ impl Runtime {
             group: None,
             significance: Significance::default(),
             tasks: Vec::new(),
+            deadline_nanos: 0,
+            cancel: None,
         }
     }
 
@@ -867,7 +1172,7 @@ impl Runtime {
     /// in the GTB buffer with no master left to flush them, deadlocking
     /// the barrier. (Non-buffering policies skip the re-flush — their
     /// buffers are always empty.)
-    pub fn wait_all(&self) {
+    pub fn wait_all(&self) -> OutcomeSummary {
         self.inner.flush_all_groups();
         let inner = &self.inner;
         inner.wake_for_wait();
@@ -875,20 +1180,21 @@ impl Runtime {
             inner.flush_all_groups_if_buffering();
             inner.outstanding.load(Ordering::SeqCst) == 0
         });
+        self.outcomes()
     }
 
     /// Global barrier with a `ratio(...)` clause: the ratio is applied to the
     /// implicit global group before flushing.
-    pub fn wait_all_with_ratio(&self, ratio: f64) {
+    pub fn wait_all_with_ratio(&self, ratio: f64) -> OutcomeSummary {
         self.inner.global_group.set_ratio(ratio);
-        self.wait_all();
+        self.wait_all()
     }
 
     /// Group barrier (`#pragma omp taskwait label(...)`): flush the group's
     /// GTB buffer and wait for its tasks. Re-flushes before every predicate
     /// re-check (see [`Runtime::wait_all`]) so spawns issued from inside
     /// the group's own tasks drain instead of deadlocking the barrier.
-    pub fn wait_group(&self, group: &TaskGroup) {
+    pub fn wait_group(&self, group: &TaskGroup) -> OutcomeSummary {
         let state = self.inner.groups.get(group.id);
         self.inner.flush_group(&state);
         let inner = &self.inner;
@@ -899,6 +1205,7 @@ impl Runtime {
             }
             state.outstanding.load(Ordering::SeqCst) == 0
         });
+        self.outcomes()
     }
 
     /// Group barrier with a `ratio(...)` clause
@@ -906,7 +1213,7 @@ impl Runtime {
     ///
     /// The ratio is installed before the flush so a Max-Buffer GTB flush and
     /// all still-undecided LQH decisions observe it.
-    pub fn wait_group_with_ratio(&self, group: &TaskGroup, ratio: f64) {
+    pub fn wait_group_with_ratio(&self, group: &TaskGroup, ratio: f64) -> OutcomeSummary {
         let state = self.inner.groups.get(group.id);
         state.set_ratio(ratio);
         self.inner.flush_group(&state);
@@ -918,6 +1225,7 @@ impl Runtime {
             }
             state.outstanding.load(Ordering::SeqCst) == 0
         });
+        self.outcomes()
     }
 
     /// Data barrier (`#pragma omp taskwait on(...)`): wait until every task
@@ -988,6 +1296,8 @@ pub struct TaskBuilder<'rt> {
     group: Option<GroupId>,
     in_keys: Vec<DepKey>,
     out_keys: Vec<DepKey>,
+    deadline_nanos: u64,
+    cancel: Option<CancelToken>,
 }
 
 impl TaskBuilder<'_> {
@@ -1033,6 +1343,24 @@ impl TaskBuilder<'_> {
         self
     }
 
+    /// `deadline(...)` — relative deadline from now. A task finishing past
+    /// its deadline counts a deadline miss; while the runtime is overloaded
+    /// (or the deadline already passed at dispatch), the task races to
+    /// nominal frequency regardless of the governor's scaling decision.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        let absolute = self.runtime.inner.started.elapsed() + deadline;
+        // 0 means "no deadline": clamp real deadlines away from it.
+        self.deadline_nanos = (absolute.as_nanos().min(u64::MAX as u128) as u64).max(1);
+        self
+    }
+
+    /// Attach a cooperative [`CancelToken`]: cancelling the token skips
+    /// every not-yet-started task carrying it.
+    pub fn cancel_token(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
     /// Submit the task to the runtime. Returns the task's id (spawn order).
     pub fn spawn(self) -> TaskId {
         let inner = &self.runtime.inner;
@@ -1051,9 +1379,16 @@ impl TaskBuilder<'_> {
             self.significance,
             self.accurate,
             self.approximate,
-            self.out_keys.clone(),
+            self.out_keys,
             footprint,
         ));
+        {
+            // Not yet shared: robustness clauses land through `&mut`, free.
+            let t = Arc::get_mut(&mut task).expect("task not yet shared");
+            t.in_keys = self.in_keys;
+            t.deadline_nanos = self.deadline_nanos;
+            t.cancel = self.cancel;
+        }
 
         // Fast path: footprint-free task under a non-buffering policy goes
         // straight to a queue. Its released/enqueued (and, for the agnostic
@@ -1094,7 +1429,7 @@ impl TaskBuilder<'_> {
         // cannot be enqueued halfway through registration.
         task.pending_deps.store(1, Ordering::Release);
         if footprint {
-            let predecessors = inner.tracker.register(&task, &self.in_keys, &self.out_keys);
+            let predecessors = inner.tracker.register(&task, &task.in_keys, &task.out_keys);
             let mut wired = 0usize;
             for predecessor in predecessors {
                 // `try_push` fails iff the predecessor already completed
@@ -1270,6 +1605,8 @@ pub struct BatchBuilder<'rt> {
     group: Option<GroupId>,
     significance: Significance,
     tasks: Vec<BatchTask>,
+    deadline_nanos: u64,
+    cancel: Option<CancelToken>,
 }
 
 impl BatchBuilder<'_> {
@@ -1291,6 +1628,21 @@ impl BatchBuilder<'_> {
     /// [`BatchBuilder::spawn_all`] (individual [`BatchTask`]s override it).
     pub fn significance(mut self, significance: impl Into<Significance>) -> Self {
         self.significance = significance.into();
+        self
+    }
+
+    /// `deadline(...)` — relative deadline from now, applied to every task
+    /// of the batch. See [`TaskBuilder::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        let absolute = self.runtime.inner.started.elapsed() + deadline;
+        self.deadline_nanos = (absolute.as_nanos().min(u64::MAX as u128) as u64).max(1);
+        self
+    }
+
+    /// Attach a cooperative [`CancelToken`] to every task of the batch. See
+    /// [`TaskBuilder::cancel_token`].
+    pub fn cancel_token(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
         self
     }
 
@@ -1338,7 +1690,7 @@ impl BatchBuilder<'_> {
             Some(id) if id == GroupId::GLOBAL => inner.global_group.clone(),
             Some(id) => inner.groups.get(id),
         };
-        inner.spawn_batch_into(&group_state, self.tasks)
+        inner.spawn_batch_into(&group_state, self.tasks, self.deadline_nanos, self.cancel)
     }
 }
 
@@ -1603,9 +1955,14 @@ mod tests {
         let rt = count_runtime(Policy::SignificanceAgnostic);
         rt.task(|| panic!("boom")).spawn();
         rt.task(|| {}).spawn();
-        rt.wait_all();
+        let summary = rt.wait_all();
         assert_eq!(rt.panicked_tasks(), 1);
-        assert_eq!(rt.stats().completed(), 2);
+        // A panicked task is a terminal outcome of its own, not `completed`.
+        assert_eq!(rt.stats().completed(), 1);
+        assert_eq!(summary.spawned, 2);
+        assert_eq!(summary.panicked, 1);
+        assert_eq!(summary.completed + summary.failed(), summary.spawned);
+        assert!(!summary.is_clean());
     }
 
     #[test]
@@ -1923,5 +2280,316 @@ mod tests {
         a.wait_all();
         b.wait_all();
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    /// Occupy the single worker of `rt` until the returned sender fires.
+    /// The task is guaranteed to be *running* (not just queued) on return,
+    /// so everything spawned afterwards sits in the queue behind it.
+    fn block_single_worker(rt: &Runtime) -> std::sync::mpsc::Sender<()> {
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        rt.task(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .spawn();
+        started_rx.recv().unwrap();
+        release_tx
+    }
+
+    #[test]
+    fn cancel_token_skips_queued_tasks() {
+        let rt = Runtime::builder()
+            .workers(1)
+            .policy(Policy::SignificanceAgnostic)
+            .build();
+        let release = block_single_worker(&rt);
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let r = ran.clone();
+            rt.task(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            })
+            .cancel_token(&token)
+            .spawn();
+        }
+        token.cancel();
+        release.send(()).unwrap();
+        let summary = rt.wait_all();
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            0,
+            "cancelled bodies must not run"
+        );
+        assert_eq!(summary.cancelled, 50);
+        assert_eq!(summary.completed, 1, "only the blocker completed");
+        assert_eq!(summary.spawned, 51);
+        assert_eq!(summary.completed + summary.failed(), summary.spawned);
+    }
+
+    #[test]
+    fn cancel_tasks_by_id_range() {
+        let rt = Runtime::builder()
+            .workers(1)
+            .policy(Policy::SignificanceAgnostic)
+            .build();
+        let release = block_single_worker(&rt);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ids = rt.batch().spawn_tasks((0..40).map(|_| {
+            let r = ran.clone();
+            BatchTask::new(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        rt.cancel_tasks(&ids);
+        release.send(()).unwrap();
+        let summary = rt.wait_all();
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert_eq!(summary.cancelled, 40);
+        assert_eq!(summary.completed, 1);
+    }
+
+    #[test]
+    fn cancel_group_skips_only_that_group() {
+        let rt = Runtime::builder()
+            .workers(1)
+            .policy(Policy::SignificanceAgnostic)
+            .build();
+        let doomed = rt.create_group("doomed", 1.0);
+        let alive = rt.create_group("alive", 1.0);
+        let release = block_single_worker(&rt);
+        let doomed_ran = Arc::new(AtomicUsize::new(0));
+        let alive_ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let d = doomed_ran.clone();
+            rt.task(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            })
+            .group(&doomed)
+            .spawn();
+            let a = alive_ran.clone();
+            rt.task(move || {
+                a.fetch_add(1, Ordering::Relaxed);
+            })
+            .group(&alive)
+            .spawn();
+        }
+        rt.cancel_group(&doomed);
+        release.send(()).unwrap();
+        let summary = rt.wait_all();
+        assert_eq!(doomed_ran.load(Ordering::Relaxed), 0);
+        assert_eq!(alive_ran.load(Ordering::Relaxed), 20);
+        assert_eq!(summary.cancelled, 20);
+        assert_eq!(summary.completed, 21);
+    }
+
+    #[test]
+    fn poisoned_read_is_never_observed_clean() {
+        let rt = Arc::new(count_runtime(Policy::SignificanceAgnostic));
+        let key = DepKey::named("poisoned-input");
+        let derived = DepKey::named("derived-output");
+        rt.task(|| panic!("writer dies")).writes([key]).spawn();
+        let observed_clean = Arc::new(AtomicBool::new(false));
+        {
+            let rt2 = rt.clone();
+            let observed_clean = observed_clean.clone();
+            rt.task(move || {
+                if !rt2.is_poisoned(key) {
+                    observed_clean.store(true, Ordering::SeqCst);
+                }
+            })
+            .reads([key])
+            .writes([derived])
+            .spawn();
+        }
+        let summary = rt.wait_all();
+        assert!(
+            !observed_clean.load(Ordering::SeqCst),
+            "a dependent of a panicked writer observed the key clean"
+        );
+        assert!(rt.is_poisoned(key));
+        // The reader itself succeeded, but its output derives from poisoned
+        // data: poison propagates transitively.
+        assert!(rt.is_poisoned(derived));
+        assert_eq!(summary.panicked, 1);
+        assert_eq!(summary.completed, 1);
+    }
+
+    #[test]
+    fn overload_sheds_approximate_tiers_only() {
+        let rt = Runtime::builder()
+            .workers(1)
+            .policy(Policy::Lqh)
+            .queue_watermark(1)
+            .build();
+        let crit = rt.create_group("critical", 1.0);
+        let soft = rt.create_group("soft", 0.0);
+        let release = block_single_worker(&rt);
+        let ran_critical = Arc::new(AtomicUsize::new(0));
+        let ran_soft = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = ran_critical.clone();
+            rt.task(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .significance(1.0)
+            .group(&crit)
+            .spawn();
+            let s = ran_soft.clone();
+            rt.task(|| unreachable!("accurate tier must not run at ratio 0"))
+                .approx(move || {
+                    s.fetch_add(1, Ordering::Relaxed);
+                })
+                .significance(0.1)
+                .group(&soft)
+                .spawn();
+        }
+        release.send(()).unwrap();
+        let summary = rt.wait_all();
+        // Brownout: sheds strictly from the approximate tiers upward —
+        // every critical task ran, nothing was cancelled, and the books
+        // balance exactly.
+        assert_eq!(ran_critical.load(Ordering::Relaxed), 50);
+        assert_eq!(summary.cancelled, 0);
+        assert!(summary.shed >= 1, "2x overload must shed: {summary:?}");
+        assert_eq!(ran_soft.load(Ordering::Relaxed) + summary.shed, 50);
+        assert_eq!(summary.spawned, 101);
+        assert_eq!(summary.completed + summary.failed(), summary.spawned);
+    }
+
+    #[test]
+    fn deadline_pressure_races_to_nominal() {
+        let run = |deadline: Option<Duration>| {
+            let rt = Runtime::builder()
+                .workers(1)
+                .policy(Policy::Lqh)
+                .governor(crate::env::ApproxGovernor::new(0.5))
+                .build();
+            let group = rt.create_group("soft", 0.0);
+            let mut builder = rt
+                .task(|| {})
+                .approx(|| std::thread::sleep(Duration::from_micros(100)))
+                .significance(0.0)
+                .group(&group);
+            if let Some(d) = deadline {
+                builder = builder.deadline(d);
+            }
+            builder.spawn();
+            rt.wait_group(&group);
+            (
+                rt.energy_report().scaled_tasks(),
+                rt.stats().deadline_misses(),
+            )
+        };
+        // No deadline: the approximate task is dispatched below nominal.
+        let (scaled, misses) = run(None);
+        assert_eq!(scaled, 1);
+        assert_eq!(misses, 0);
+        // An already-expired deadline: the dispatch races to nominal and
+        // the miss is recorded.
+        let (scaled, misses) = run(Some(Duration::ZERO));
+        assert_eq!(scaled, 0, "deadline pressure must override scaling");
+        assert!(misses >= 1);
+    }
+
+    #[test]
+    fn panic_during_barrier_releases_waiter_with_failure_visible() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let group = rt.create_group("mixed", 1.0);
+        for i in 0..8 {
+            rt.task(move || {
+                if i % 2 == 0 {
+                    panic!("task {i} dies");
+                }
+            })
+            .group(&group)
+            .spawn();
+        }
+        let summary = rt.wait_group(&group);
+        assert_eq!(summary.panicked, 4);
+        assert_eq!(summary.completed, 4);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.panicked, 4);
+        assert_eq!(stats.total(), 4, "only successful executions count");
+    }
+
+    #[test]
+    fn panic_inside_gtb_buffered_task_is_contained() {
+        for policy in [Policy::Gtb { buffer_size: 4 }, Policy::GtbMaxBuffer] {
+            let rt = count_runtime(policy);
+            let group = rt.create_group("explosive", 1.0);
+            for _ in 0..10 {
+                rt.task(|| panic!("buffered boom")).group(&group).spawn();
+            }
+            let summary = rt.wait_group(&group);
+            assert_eq!(summary.panicked, 10, "{policy:?}");
+            assert_eq!(summary.completed, 0, "{policy:?}");
+            assert_eq!(rt.group_stats(&group).panicked, 10, "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn wait_all_with_nan_ratio_panics() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        rt.wait_all_with_ratio(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn wait_group_with_out_of_range_ratio_panics() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let group = rt.create_group("g", 1.0);
+        rt.wait_group_with_ratio(&group, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn create_group_with_negative_ratio_panics() {
+        let rt = count_runtime(Policy::SignificanceAgnostic);
+        let _ = rt.create_group("negative", -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark must be positive")]
+    fn zero_queue_watermark_rejected() {
+        let _ = Runtime::builder().queue_watermark(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark must be a finite rate")]
+    fn nan_miss_watermark_rejected() {
+        let _ = Runtime::builder().deadline_miss_watermark(f64::NAN);
+    }
+
+    #[test]
+    fn inert_robustness_features_do_not_change_outcomes() {
+        // Watermarks never crossed, deadlines far away, a token never
+        // cancelled: the robustness plumbing must be invisible.
+        let rt = Runtime::builder()
+            .workers(4)
+            .policy(Policy::GtbMaxBuffer)
+            .queue_watermark(1_000_000)
+            .deadline_miss_watermark(1.0)
+            .build();
+        let group = rt.create_group("inert", 0.5);
+        let token = CancelToken::new();
+        for i in 0..100u32 {
+            rt.task(|| {})
+                .approx(|| {})
+                .significance(((i % 9) + 1) as f64 / 10.0)
+                .group(&group)
+                .deadline(Duration::from_secs(3600))
+                .cancel_token(&token)
+                .spawn();
+        }
+        let summary = rt.wait_group(&group);
+        assert!(summary.is_clean(), "{summary:?}");
+        assert_eq!(summary.completed, 100);
+        assert_eq!(summary.deadline_misses, 0);
+        let stats = rt.group_stats(&group);
+        assert_eq!(stats.total(), 100);
+        assert_eq!(stats.accurate, 50);
     }
 }

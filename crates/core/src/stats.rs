@@ -46,12 +46,15 @@ fn mode_from_index(index: usize) -> ExecutionMode {
 /// One worker's (level × mode) execution counters for a group.
 struct GroupShard {
     counts: Box<[AtomicU64]>,
+    /// Tasks of this group whose body panicked on this worker.
+    panicked: AtomicU64,
 }
 
 impl GroupShard {
     fn new() -> Self {
         GroupShard {
             counts: (0..NUM_LEVELS * MODES).map(|_| AtomicU64::new(0)).collect(),
+            panicked: AtomicU64::new(0),
         }
     }
 }
@@ -86,18 +89,28 @@ impl GroupStats {
         shard.counts[level.index() * MODES + mode_index(mode)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a panicked task body on worker `worker`.
+    pub(crate) fn record_panicked(&self, worker: usize) {
+        let shard = &self.shards[worker.min(self.shards.len() - 1)];
+        shard.panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Produce an immutable snapshot for reporting. O(levels), independent
     /// of the number of executed tasks: everything the snapshot reports is
     /// computed from the folded counter matrix, and the per-task log is only
     /// materialised if [`GroupStatsSnapshot::log`] is actually called.
     pub(crate) fn snapshot(&self, requested_ratio: f64) -> GroupStatsSnapshot {
         let mut folded = vec![0u64; NUM_LEVELS * MODES];
+        let mut panicked = 0usize;
         for shard in self.shards.iter() {
             for (total, count) in folded.iter_mut().zip(shard.counts.iter()) {
                 *total += count.load(Ordering::Relaxed);
             }
+            panicked += shard.panicked.load(Ordering::Relaxed) as usize;
         }
-        GroupStatsSnapshot::from_histogram(requested_ratio, folded)
+        let mut snapshot = GroupStatsSnapshot::from_histogram(requested_ratio, folded);
+        snapshot.panicked = panicked;
+        snapshot
     }
 }
 
@@ -117,6 +130,10 @@ pub struct GroupStatsSnapshot {
     /// non-accurately while a strictly less significant task of the same
     /// group ran accurately.
     pub inverted: usize,
+    /// Number of tasks of this group whose body panicked. Panicked tasks are
+    /// **not** included in [`GroupStatsSnapshot::total`]: they produced no
+    /// usable result in any mode.
+    pub panicked: usize,
     /// (level × mode) counts; `NUM_LEVELS * MODES` entries.
     hist: Vec<u64>,
     /// Per-task expansion of `hist`, materialised on first `log()` call.
@@ -187,6 +204,7 @@ impl GroupStatsSnapshot {
             approximate,
             dropped,
             inverted,
+            panicked: 0,
             hist,
             log: OnceLock::new(),
         }
@@ -253,9 +271,53 @@ struct StatShard {
     accurate: AtomicUsize,
     approximate: AtomicUsize,
     dropped: AtomicUsize,
+    panicked: AtomicUsize,
+    cancelled: AtomicUsize,
+    shed: AtomicUsize,
+    deadline_misses: AtomicUsize,
     steals: AtomicUsize,
     buffer_flushes: AtomicUsize,
     busy_nanos: AtomicU64,
+}
+
+/// Terminal-outcome summary of everything the runtime has executed (or
+/// refused to execute) so far — returned by
+/// [`Runtime::wait_all`](crate::runtime::Runtime::wait_all) and
+/// [`Runtime::outcomes`](crate::runtime::Runtime::outcomes) so failure is
+/// observable instead of silently counted.
+///
+/// The scheduler maintains exactly-once accounting: every spawned task ends
+/// in precisely one of the four terminal outcomes, i.e.
+/// `spawned == completed + cancelled + panicked + shed` once a barrier has
+/// drained the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeSummary {
+    /// Tasks spawned so far.
+    pub spawned: usize,
+    /// Tasks that finished a body (accurate, approximate, or dropped-by-policy).
+    pub completed: usize,
+    /// Tasks skipped because cancellation was requested before they ran.
+    pub cancelled: usize,
+    /// Tasks whose body panicked.
+    pub panicked: usize,
+    /// Tasks shed by the brownout overload controller.
+    pub shed: usize,
+    /// Tasks that completed after their deadline had already passed.
+    pub deadline_misses: usize,
+}
+
+impl OutcomeSummary {
+    /// `true` when every task so far ran to completion: nothing was
+    /// cancelled, panicked, or shed (deadline misses do not count — the work
+    /// still produced its result, merely late).
+    pub fn is_clean(&self) -> bool {
+        self.cancelled == 0 && self.panicked == 0 && self.shed == 0
+    }
+
+    /// Number of tasks that terminated without producing a result.
+    pub fn failed(&self) -> usize {
+        self.cancelled + self.panicked + self.shed
+    }
 }
 
 /// Whole-runtime counters: totals across all groups plus scheduler-internal
@@ -324,6 +386,34 @@ impl RuntimeStats {
         );
     }
 
+    /// Record a panicked task body (terminal outcome; the body's time is
+    /// still charged as busy time — the core really spent it).
+    pub(crate) fn record_panicked(&self, worker: usize, busy: Duration) {
+        let shard = self.shard(worker);
+        shard.panicked.fetch_add(1, Ordering::Relaxed);
+        shard.busy_nanos.fetch_add(
+            busy.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Record a task skipped by cooperative cancellation.
+    pub(crate) fn record_cancelled(&self, worker: usize) {
+        self.shard(worker).cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a task shed by the brownout overload controller.
+    pub(crate) fn record_shed(&self, worker: usize) {
+        self.shard(worker).shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a task that completed past its deadline.
+    pub(crate) fn record_deadline_miss(&self, worker: usize) {
+        self.shard(worker)
+            .deadline_misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_steal(&self, worker: usize) {
         self.shard(worker).steals.fetch_add(1, Ordering::Relaxed);
     }
@@ -365,6 +455,38 @@ impl RuntimeStats {
     /// Number of dropped tasks.
     pub fn dropped(&self) -> usize {
         self.fold(|s| s.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Number of tasks whose body panicked.
+    pub fn panicked(&self) -> usize {
+        self.fold(|s| s.panicked.load(Ordering::Relaxed))
+    }
+
+    /// Number of tasks skipped by cooperative cancellation.
+    pub fn cancelled(&self) -> usize {
+        self.fold(|s| s.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// Number of tasks shed by the brownout overload controller.
+    pub fn shed(&self) -> usize {
+        self.fold(|s| s.shed.load(Ordering::Relaxed))
+    }
+
+    /// Number of tasks that completed after their deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.fold(|s| s.deadline_misses.load(Ordering::Relaxed))
+    }
+
+    /// Terminal-outcome summary (see [`OutcomeSummary`]).
+    pub fn outcomes(&self) -> OutcomeSummary {
+        OutcomeSummary {
+            spawned: self.spawned(),
+            completed: self.completed(),
+            cancelled: self.cancelled(),
+            panicked: self.panicked(),
+            shed: self.shed(),
+            deadline_misses: self.deadline_misses(),
+        }
     }
 
     /// Number of successful work-steal operations.
@@ -499,6 +621,47 @@ mod tests {
         assert_eq!(stats.steals(), 1);
         assert_eq!(stats.buffer_flushes(), 1);
         assert!(stats.busy_core_seconds() >= 0.01);
+    }
+
+    #[test]
+    fn outcome_summary_accounting() {
+        let stats = RuntimeStats::new(2);
+        for _ in 0..5 {
+            stats.record_spawn();
+        }
+        stats.record_execution(0, ExecutionMode::Accurate, Duration::ZERO);
+        stats.record_execution(0, ExecutionMode::Approximate, Duration::ZERO);
+        stats.record_panicked(1, Duration::from_millis(1));
+        stats.record_cancelled(1);
+        stats.record_shed(0);
+        stats.record_deadline_miss(0);
+        let o = stats.outcomes();
+        assert_eq!(o.spawned, 5);
+        assert_eq!(o.completed, 2);
+        assert_eq!(
+            o.completed + o.cancelled + o.panicked + o.shed,
+            o.spawned,
+            "terminal outcomes partition the spawn count"
+        );
+        assert!(!o.is_clean());
+        assert_eq!(o.failed(), 3);
+        assert_eq!(o.deadline_misses, 1);
+        assert!(
+            stats.busy_core_seconds() > 0.0,
+            "panicked time is busy time"
+        );
+        assert!(OutcomeSummary::default().is_clean());
+    }
+
+    #[test]
+    fn group_panic_counts_land_in_snapshot() {
+        let stats = GroupStats::new(2);
+        stats.record(0, level(50), ExecutionMode::Accurate);
+        stats.record_panicked(0);
+        stats.record_panicked(1);
+        let snap = stats.snapshot(1.0);
+        assert_eq!(snap.panicked, 2);
+        assert_eq!(snap.total(), 1, "panicked tasks are not completions");
     }
 
     #[test]

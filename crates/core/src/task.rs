@@ -59,6 +59,38 @@ const MODE_APPROXIMATE: u8 = 2;
 const RELEASED: u8 = 1 << 2;
 const ENQUEUED: u8 = 1 << 3;
 const COMPLETED: u8 = 1 << 4;
+const CANCELLED: u8 = 1 << 5;
+const PANICKED: u8 = 1 << 6;
+
+/// A cooperative cancellation flag shared between spawners and task bodies.
+///
+/// A token attached to a task (via
+/// [`TaskBuilder::cancel_token`](crate::runtime::TaskBuilder::cancel_token))
+/// is checked once when the task is dequeued for execution: if the token has
+/// been cancelled, the task's bodies are dropped unrun, its outputs are
+/// poisoned, and it completes with the `Cancelled` outcome. Task bodies may
+/// also poll their own clone of the token to bail out of long loops early.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation of every task the token is attached to.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// A task body slot consumed exactly once, without a lock.
 ///
@@ -198,6 +230,13 @@ pub(crate) struct Task {
     /// executed like any other task but invisible to user-facing statistics
     /// and energy accounting.
     pub(crate) system: bool,
+    /// Input keys, kept for transitive poison propagation: a task whose
+    /// inputs were written by a failed predecessor poisons its own outputs.
+    pub(crate) in_keys: Vec<DepKey>,
+    /// Completion deadline in nanoseconds since runtime start; `0` = none.
+    pub(crate) deadline_nanos: u64,
+    /// Cooperative cancellation token attached at spawn, if any.
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl Task {
@@ -222,6 +261,9 @@ impl Task {
             out_keys,
             footprint,
             system: false,
+            in_keys: Vec::new(),
+            deadline_nanos: 0,
+            cancel: None,
         }
     }
 
@@ -358,6 +400,38 @@ impl Task {
     /// Whether the task finished executing.
     pub(crate) fn is_completed(&self) -> bool {
         self.state.load(Ordering::Acquire) & COMPLETED != 0
+    }
+
+    /// Request cancellation of this specific task. Honoured cooperatively:
+    /// the task is skipped if the request lands before a worker dequeues it.
+    /// Returns `true` the first time.
+    pub(crate) fn request_cancel(&self) -> bool {
+        self.state.fetch_or(CANCELLED, Ordering::AcqRel) & CANCELLED == 0
+    }
+
+    /// Whether cancellation was requested through any channel (the per-task
+    /// bit, an attached token, or the whole group).
+    pub(crate) fn cancel_requested(&self) -> bool {
+        if self.state.load(Ordering::Acquire) & CANCELLED != 0 {
+            return true;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        self.group_state.is_cancelled()
+    }
+
+    /// Record that the task's body panicked.
+    pub(crate) fn mark_panicked(&self) {
+        self.state.fetch_or(PANICKED, Ordering::AcqRel);
+    }
+
+    /// Whether the task's body panicked.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_panicked(&self) -> bool {
+        self.state.load(Ordering::Acquire) & PANICKED != 0
     }
 }
 
@@ -547,5 +621,36 @@ mod tests {
     fn task_id_ordering_matches_spawn_order() {
         assert!(TaskId(1) < TaskId(2));
         assert_eq!(TaskId(7).index(), 7);
+    }
+
+    #[test]
+    fn cancel_and_panic_bits_are_independent() {
+        let t = dummy_task(0.5);
+        assert!(!t.cancel_requested());
+        assert!(t.request_cancel());
+        assert!(
+            !t.request_cancel(),
+            "second request reports already-cancelled"
+        );
+        assert!(t.cancel_requested());
+        assert!(!t.is_panicked());
+        t.mark_panicked();
+        assert!(t.is_panicked());
+        assert!(!t.is_completed());
+        assert!(
+            t.claim_enqueue(),
+            "cancel must not consume the enqueue claim"
+        );
+    }
+
+    #[test]
+    fn cancel_token_reaches_attached_task() {
+        let token = CancelToken::new();
+        let mut t = dummy_task(0.5);
+        t.cancel = Some(token.clone());
+        assert!(!t.cancel_requested());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(t.cancel_requested());
     }
 }

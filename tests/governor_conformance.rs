@@ -97,6 +97,7 @@ fn ctx(worker: usize, significance: f64, accurate: bool) -> DispatchContext {
         accurate,
         policy: Policy::GtbMaxBuffer,
         group_ratio: 0.5,
+        deadline_pressure: false,
     }
 }
 
