@@ -1059,6 +1059,22 @@ impl EnergyReport {
         };
         EnergyReading::from_breakdown(wall, clamped_busy, breakdown)
     }
+
+    /// Total modelled joules divided by a unit-of-work count — the serving
+    /// metric "joules per completed request". `f64::INFINITY` when nothing
+    /// completed: energy was spent, no work was delivered.
+    pub fn joules_per(&self, completed: usize) -> f64 {
+        let joules = self.reading().joules;
+        if completed == 0 {
+            if joules == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            joules / completed as f64
+        }
+    }
 }
 
 #[cfg(test)]

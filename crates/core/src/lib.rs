@@ -57,6 +57,7 @@ mod deque;
 pub mod env;
 pub mod faults;
 pub mod group;
+pub mod handle;
 mod macros;
 pub mod policy;
 pub mod runtime;
@@ -74,11 +75,14 @@ pub use env::{
 };
 pub use faults::{FaultAction, FaultPlan};
 pub use group::{GroupId, TaskGroup};
+pub use handle::{SpawnHandle, TaskOutcome};
 pub use policy::Policy;
-pub use runtime::{BatchBuilder, BatchTask, Runtime, RuntimeBuilder, TaskBuilder, TaskIdRange};
+pub use runtime::{
+    BatchBuilder, BatchTask, HandledTaskBuilder, Runtime, RuntimeBuilder, TaskBuilder, TaskIdRange,
+};
 pub use shared::{RegionWriter, SharedGrid};
 pub use significance::{Significance, SignificanceLevel, NUM_LEVELS};
-pub use stats::{GroupStatsSnapshot, OutcomeSummary, RuntimeStats};
+pub use stats::{GroupStatsSnapshot, OutcomeSummary, RuntimeStats, ShedHistogram};
 pub use task::{CancelToken, ExecutionMode, TaskId};
 
 // Re-exported so downstream crates that only depend on `sig-core` can name
@@ -95,6 +99,7 @@ pub mod prelude {
     };
     pub use crate::faults::{FaultAction, FaultPlan};
     pub use crate::group::TaskGroup;
+    pub use crate::handle::{SpawnHandle, TaskOutcome};
     pub use crate::policy::Policy;
     pub use crate::runtime::{BatchTask, Runtime, RuntimeBuilder, TaskIdRange};
     pub use crate::shared::SharedGrid;

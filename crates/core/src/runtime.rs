@@ -71,6 +71,7 @@ use crate::deque::QueueSet;
 use crate::env::{DispatchContext, EnergyReport, ExecutionEnv, Governor, NominalGovernor};
 use crate::faults::{FaultAction, FaultPlan};
 use crate::group::{GroupId, GroupRegistry, GroupState, TaskGroup};
+use crate::handle::{HandleCore, HandleNotify, SpawnHandle, TaskOutcome};
 use crate::policy::{gtb_classify, LqhState, Policy};
 use crate::significance::Significance;
 use crate::stats::{GroupStatsSnapshot, OutcomeSummary, RuntimeStats};
@@ -388,10 +389,12 @@ impl RuntimeInner {
             self.tracker.poison_writes(&task.out_keys);
         }
         if shed {
-            self.stats.record_shed(worker);
+            self.stats.record_shed(worker, task.significance.level());
+            task.notify_handle(TaskOutcome::Shed);
         } else {
             task.request_cancel();
             self.stats.record_cancelled(worker);
+            task.notify_handle(TaskOutcome::Cancelled);
         }
         self.complete(task);
     }
@@ -571,7 +574,13 @@ impl RuntimeInner {
                 Vec::new(),
                 false,
             ));
-            if !buffering || deadline_nanos != 0 || cancel.is_some() {
+            // A per-task deadline offset overrides the batch-wide deadline.
+            let task_deadline = if item.deadline_nanos != 0 {
+                item.deadline_nanos
+            } else {
+                deadline_nanos
+            };
+            if !buffering || task_deadline != 0 || cancel.is_some() {
                 // Primed through `&mut` before sharing: released + enqueued
                 // (+ decided, for the agnostic policy) cost zero atomics,
                 // and the batch-wide robustness clauses land for free.
@@ -579,7 +588,7 @@ impl RuntimeInner {
                 if !buffering {
                     t.prime_spawn_enqueued(accurate);
                 }
-                t.deadline_nanos = deadline_nanos;
+                t.deadline_nanos = task_deadline;
                 t.cancel = cancel.clone();
             }
             tasks.push(task);
@@ -790,6 +799,7 @@ impl RuntimeInner {
             task.group_state
                 .stats
                 .record(worker, task.significance.level(), mode);
+            task.notify_handle(TaskOutcome::Completed(mode));
         } else {
             // The body panicked: mark the task, poison its written keys
             // *before* completion releases any dependent, and account it
@@ -801,6 +811,7 @@ impl RuntimeInner {
             self.stats.record_panicked(worker, busy);
             self.env.record(worker, mode, busy, decision);
             task.group_state.stats.record_panicked(worker);
+            task.notify_handle(TaskOutcome::Panicked);
         }
         self.complete(&task);
     }
@@ -1026,6 +1037,12 @@ impl Runtime {
         &self.inner.stats
     }
 
+    /// Tasks spawned but not yet terminal (queued, buffered or executing) —
+    /// the queue-depth signal serving-layer admission control keys on.
+    pub fn outstanding_tasks(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
     /// Energy accounting snapshot built from the per-worker execution
     /// environment shards: measured and DVFS-dilated busy time, dynamic
     /// joules priced at the dispatched frequency, and per-worker frequency
@@ -1138,6 +1155,40 @@ impl Runtime {
             out_keys: Vec::new(),
             deadline_nanos: 0,
             cancel: None,
+            handle: None,
+        }
+    }
+
+    /// Begin describing a task whose body returns a value, observed through
+    /// a [`SpawnHandle`] — the serving-oriented entry point. The handle
+    /// resolves exactly once to the task's terminal [`TaskOutcome`]
+    /// (completed / panicked / cancelled / shed) with no barrier involved,
+    /// and carries the executed body's return value on success.
+    ///
+    /// ```
+    /// use sig_core::{Runtime, TaskOutcome, ExecutionMode};
+    ///
+    /// let rt = Runtime::builder().workers(2).build();
+    /// let handle = rt.submit(|| 6 * 7).spawn();
+    /// assert_eq!(
+    ///     handle.wait(),
+    ///     TaskOutcome::Completed(ExecutionMode::Accurate)
+    /// );
+    /// assert_eq!(handle.take_value(), Some(42));
+    /// ```
+    pub fn submit<T, F>(&self, body: F) -> HandledTaskBuilder<'_, T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        HandledTaskBuilder {
+            runtime: self,
+            accurate: Box::new(body),
+            approximate: None,
+            significance: Significance::default(),
+            group: None,
+            deadline_nanos: 0,
+            cancel: None,
         }
     }
 
@@ -1152,6 +1203,7 @@ impl Runtime {
             significance: Significance::default(),
             tasks: Vec::new(),
             deadline_nanos: 0,
+            deadline_offsets: Vec::new(),
             cancel: None,
         }
     }
@@ -1298,6 +1350,7 @@ pub struct TaskBuilder<'rt> {
     out_keys: Vec<DepKey>,
     deadline_nanos: u64,
     cancel: Option<CancelToken>,
+    handle: Option<Arc<dyn HandleNotify>>,
 }
 
 impl TaskBuilder<'_> {
@@ -1388,6 +1441,7 @@ impl TaskBuilder<'_> {
             t.in_keys = self.in_keys;
             t.deadline_nanos = self.deadline_nanos;
             t.cancel = self.cancel;
+            t.handle = self.handle;
         }
 
         // Fast path: footprint-free task under a non-buffering policy goes
@@ -1476,6 +1530,90 @@ impl TaskBuilder<'_> {
     }
 }
 
+/// Fluent description of a *handled* task: like [`TaskBuilder`], but the
+/// bodies return a value and [`HandledTaskBuilder::spawn`] yields a
+/// [`SpawnHandle`] resolving to the task's terminal [`TaskOutcome`]. Created
+/// with [`Runtime::submit`].
+///
+/// Handled tasks are footprint-free by design: they exist for serving-style
+/// workloads where completion is observed per request through the handle,
+/// not through dependence chains.
+#[must_use = "a handled task builder does nothing until .spawn() is called"]
+pub struct HandledTaskBuilder<'rt, T> {
+    runtime: &'rt Runtime,
+    accurate: Box<dyn FnOnce() -> T + Send + 'static>,
+    approximate: Option<Box<dyn FnOnce() -> T + Send + 'static>>,
+    significance: Significance,
+    group: Option<GroupId>,
+    deadline_nanos: u64,
+    cancel: Option<CancelToken>,
+}
+
+impl<T: Send + 'static> HandledTaskBuilder<'_, T> {
+    /// `significant(expr)` — the task's significance in `[0.0, 1.0]`.
+    pub fn significance(mut self, significance: impl Into<Significance>) -> Self {
+        self.significance = significance.into();
+        self
+    }
+
+    /// `approxfun(function)` — the approximate body. Its return value lands
+    /// in the handle exactly like the accurate one's.
+    pub fn approx<F>(mut self, body: F) -> Self
+    where
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.approximate = Some(Box::new(body));
+        self
+    }
+
+    /// `label(...)` by group handle.
+    pub fn group(mut self, group: &TaskGroup) -> Self {
+        self.group = Some(group.id);
+        self
+    }
+
+    /// `deadline(...)` — relative deadline from now. See
+    /// [`TaskBuilder::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        let absolute = self.runtime.inner.started.elapsed() + deadline;
+        self.deadline_nanos = (absolute.as_nanos().min(u64::MAX as u128) as u64).max(1);
+        self
+    }
+
+    /// Attach a cooperative [`CancelToken`]. See
+    /// [`TaskBuilder::cancel_token`].
+    pub fn cancel_token(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Submit the task and return its [`SpawnHandle`].
+    pub fn spawn(self) -> SpawnHandle<T> {
+        let core = Arc::new(HandleCore::new());
+        let accurate_core = core.clone();
+        let accurate_body = self.accurate;
+        let accurate: TaskBody = Box::new(move || accurate_core.put_value(accurate_body()));
+        let approximate: Option<TaskBody> = self.approximate.map(|body| {
+            let approx_core = core.clone();
+            Box::new(move || approx_core.put_value(body())) as TaskBody
+        });
+        let id = TaskBuilder {
+            runtime: self.runtime,
+            accurate,
+            approximate,
+            significance: self.significance,
+            group: self.group,
+            in_keys: Vec::new(),
+            out_keys: Vec::new(),
+            deadline_nanos: self.deadline_nanos,
+            cancel: self.cancel,
+            handle: Some(core.clone() as Arc<dyn HandleNotify>),
+        }
+        .spawn();
+        SpawnHandle::new(core, id)
+    }
+}
+
 /// One task of a batched spawn: the accurate body plus the optional
 /// per-task clauses of the programming model (`approxfun`, `significant`).
 ///
@@ -1488,6 +1626,10 @@ pub struct BatchTask {
     accurate: TaskBody,
     approximate: Option<TaskBody>,
     significance: Significance,
+    /// Absolute per-task deadline (nanos since runtime start); `0` means
+    /// "inherit the batch-wide deadline". Set through
+    /// [`BatchBuilder::deadline_offset`].
+    deadline_nanos: u64,
 }
 
 impl BatchTask {
@@ -1501,6 +1643,7 @@ impl BatchTask {
             accurate: Box::new(body),
             approximate: None,
             significance: Significance::default(),
+            deadline_nanos: 0,
         }
     }
 
@@ -1537,6 +1680,16 @@ pub struct TaskIdRange {
 }
 
 impl TaskIdRange {
+    /// The one-element range covering a single spawned task — lets
+    /// [`Runtime::cancel_tasks`] address individually spawned tasks (e.g. a
+    /// serving layer cancelling every retry generation of one request).
+    pub fn single(id: TaskId) -> Self {
+        TaskIdRange {
+            next: id.0,
+            end: id.0 + 1,
+        }
+    }
+
     /// Number of tasks the batch spawned.
     #[allow(clippy::len_without_is_empty)] // is_empty is provided below
     pub fn len(&self) -> usize {
@@ -1606,6 +1759,7 @@ pub struct BatchBuilder<'rt> {
     significance: Significance,
     tasks: Vec<BatchTask>,
     deadline_nanos: u64,
+    deadline_offsets: Vec<(usize, u64)>,
     cancel: Option<CancelToken>,
 }
 
@@ -1636,6 +1790,19 @@ impl BatchBuilder<'_> {
     pub fn deadline(mut self, deadline: Duration) -> Self {
         let absolute = self.runtime.inner.started.elapsed() + deadline;
         self.deadline_nanos = (absolute.as_nanos().min(u64::MAX as u128) as u64).max(1);
+        self
+    }
+
+    /// Give the `index`-th task of the batch its own deadline, `offset_nanos`
+    /// from now. Batched requests arriving together often carry *distinct*
+    /// arrival-relative deadlines (per request class); a batch-wide
+    /// [`BatchBuilder::deadline`] cannot express that. Offsets are resolved
+    /// to absolute deadlines at spawn time and override the batch-wide
+    /// deadline for their task; indexes refer to the final task order (tasks
+    /// added before `spawn`, in insertion order) and out-of-range indexes
+    /// are ignored.
+    pub fn deadline_offset(mut self, index: usize, offset_nanos: u64) -> Self {
+        self.deadline_offsets.push((index, offset_nanos));
         self
     }
 
@@ -1682,6 +1849,16 @@ impl BatchBuilder<'_> {
 
     /// Submit the batch. Returns the contiguous range of issued task ids.
     pub fn spawn(self) -> TaskIdRange {
+        let mut tasks = self.tasks;
+        if !self.deadline_offsets.is_empty() {
+            let now = self.runtime.inner.started.elapsed().as_nanos() as u64;
+            for (index, offset_nanos) in self.deadline_offsets {
+                if let Some(task) = tasks.get_mut(index) {
+                    // 0 means "no deadline": clamp real deadlines away.
+                    task.deadline_nanos = now.saturating_add(offset_nanos).max(1);
+                }
+            }
+        }
         let inner = &self.runtime.inner;
         let group_state = match self.group {
             // Unlabeled batches take the cached global group: no registry
@@ -1690,7 +1867,7 @@ impl BatchBuilder<'_> {
             Some(id) if id == GroupId::GLOBAL => inner.global_group.clone(),
             Some(id) => inner.groups.get(id),
         };
-        inner.spawn_batch_into(&group_state, self.tasks, self.deadline_nanos, self.cancel)
+        inner.spawn_batch_into(&group_state, tasks, self.deadline_nanos, self.cancel)
     }
 }
 

@@ -274,10 +274,80 @@ struct StatShard {
     panicked: AtomicUsize,
     cancelled: AtomicUsize,
     shed: AtomicUsize,
+    shed_by_level: LevelCounters,
     deadline_misses: AtomicUsize,
     steals: AtomicUsize,
     buffer_flushes: AtomicUsize,
     busy_nanos: AtomicU64,
+}
+
+/// One atomic counter per significance level (shed accounting). Boxed so the
+/// hot scalar counters of [`StatShard`] keep their cache-line padding.
+struct LevelCounters(Box<[AtomicU64]>);
+
+impl Default for LevelCounters {
+    fn default() -> Self {
+        LevelCounters((0..NUM_LEVELS).map(|_| AtomicU64::new(0)).collect())
+    }
+}
+
+/// Per-significance-level counts of tasks shed by the brownout overload
+/// controller, part of [`OutcomeSummary`].
+///
+/// The brownout controller promises to shed **strictly lowest-significance
+/// first**; an aggregate count cannot distinguish that from shedding at
+/// random. The histogram makes the order cheaply checkable: under a single
+/// rising threshold, the shed mass must sit in a prefix of the significance
+/// axis (see [`ShedHistogram::highest_level`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ShedHistogram {
+    counts: [u64; NUM_LEVELS],
+}
+
+impl Default for ShedHistogram {
+    fn default() -> Self {
+        ShedHistogram {
+            counts: [0; NUM_LEVELS],
+        }
+    }
+}
+
+impl ShedHistogram {
+    /// Number of tasks shed at exactly `level`.
+    pub fn count_at(&self, level: SignificanceLevel) -> u64 {
+        self.counts[level.index()]
+    }
+
+    /// Total shed count across all levels (equals
+    /// [`OutcomeSummary::shed`] once a barrier drained the runtime).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The most significant level that lost a task, if any — the watermark
+    /// the brownout threshold reached.
+    pub fn highest_level(&self) -> Option<SignificanceLevel> {
+        self.counts
+            .iter()
+            .rposition(|&count| count > 0)
+            .map(|index| SignificanceLevel::new(index as u8))
+    }
+
+    /// `(level, count)` for every level with a nonzero shed count, in
+    /// ascending significance order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (SignificanceLevel, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| (SignificanceLevel::new(index as u8), count))
+    }
+}
+
+impl std::fmt::Debug for ShedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.nonzero()).finish()
+    }
 }
 
 /// Terminal-outcome summary of everything the runtime has executed (or
@@ -304,6 +374,9 @@ pub struct OutcomeSummary {
     pub shed: usize,
     /// Tasks that completed after their deadline had already passed.
     pub deadline_misses: usize,
+    /// Shed counts broken down by significance level, for verifying strict
+    /// lowest-first shed order.
+    pub shed_by_level: ShedHistogram,
 }
 
 impl OutcomeSummary {
@@ -402,9 +475,12 @@ impl RuntimeStats {
         self.shard(worker).cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record a task shed by the brownout overload controller.
-    pub(crate) fn record_shed(&self, worker: usize) {
-        self.shard(worker).shed.fetch_add(1, Ordering::Relaxed);
+    /// Record a task shed by the brownout overload controller, at the shed
+    /// task's significance level.
+    pub(crate) fn record_shed(&self, worker: usize, level: SignificanceLevel) {
+        let shard = self.shard(worker);
+        shard.shed.fetch_add(1, Ordering::Relaxed);
+        shard.shed_by_level.0[level.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a task that completed past its deadline.
@@ -472,6 +548,21 @@ impl RuntimeStats {
         self.fold(|s| s.shed.load(Ordering::Relaxed))
     }
 
+    /// Per-significance-level breakdown of the shed count.
+    pub fn shed_histogram(&self) -> ShedHistogram {
+        let mut histogram = ShedHistogram::default();
+        for shard in self.shards.iter() {
+            for (total, count) in histogram
+                .counts
+                .iter_mut()
+                .zip(shard.shed_by_level.0.iter())
+            {
+                *total += count.load(Ordering::Relaxed);
+            }
+        }
+        histogram
+    }
+
     /// Number of tasks that completed after their deadline.
     pub fn deadline_misses(&self) -> usize {
         self.fold(|s| s.deadline_misses.load(Ordering::Relaxed))
@@ -486,6 +577,7 @@ impl RuntimeStats {
             panicked: self.panicked(),
             shed: self.shed(),
             deadline_misses: self.deadline_misses(),
+            shed_by_level: self.shed_histogram(),
         }
     }
 
@@ -633,7 +725,7 @@ mod tests {
         stats.record_execution(0, ExecutionMode::Approximate, Duration::ZERO);
         stats.record_panicked(1, Duration::from_millis(1));
         stats.record_cancelled(1);
-        stats.record_shed(0);
+        stats.record_shed(0, level(30));
         stats.record_deadline_miss(0);
         let o = stats.outcomes();
         assert_eq!(o.spawned, 5);
@@ -651,6 +743,27 @@ mod tests {
             "panicked time is busy time"
         );
         assert!(OutcomeSummary::default().is_clean());
+    }
+
+    #[test]
+    fn shed_histogram_tracks_levels_across_shards() {
+        let stats = RuntimeStats::new(2);
+        stats.record_shed(0, level(5));
+        stats.record_shed(1, level(5));
+        stats.record_shed(2, level(20));
+        let histogram = stats.shed_histogram();
+        assert_eq!(histogram.count_at(level(5)), 2);
+        assert_eq!(histogram.count_at(level(20)), 1);
+        assert_eq!(histogram.count_at(level(90)), 0);
+        assert_eq!(histogram.total(), stats.shed() as u64);
+        assert_eq!(histogram.highest_level(), Some(level(20)));
+        assert_eq!(
+            histogram.nonzero().collect::<Vec<_>>(),
+            vec![(level(5), 2), (level(20), 1)]
+        );
+        assert_eq!(stats.outcomes().shed_by_level, histogram);
+        assert_eq!(ShedHistogram::default().highest_level(), None);
+        assert!(!format!("{histogram:?}").is_empty());
     }
 
     #[test]

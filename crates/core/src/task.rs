@@ -23,6 +23,7 @@ use std::sync::Arc;
 
 use crate::deps::DepKey;
 use crate::group::{GroupId, GroupState};
+use crate::handle::{HandleNotify, TaskOutcome};
 use crate::significance::Significance;
 
 /// Unique identifier of a spawned task, in program (spawn) order.
@@ -237,6 +238,9 @@ pub(crate) struct Task {
     pub(crate) deadline_nanos: u64,
     /// Cooperative cancellation token attached at spawn, if any.
     pub(crate) cancel: Option<CancelToken>,
+    /// Spawn-handle notification target, resolved exactly once with the
+    /// task's terminal outcome (see [`crate::handle::SpawnHandle`]).
+    pub(crate) handle: Option<Arc<dyn HandleNotify>>,
 }
 
 impl Task {
@@ -264,6 +268,7 @@ impl Task {
             in_keys: Vec::new(),
             deadline_nanos: 0,
             cancel: None,
+            handle: None,
         }
     }
 
@@ -421,6 +426,15 @@ impl Task {
             }
         }
         self.group_state.is_cancelled()
+    }
+
+    /// Resolve the attached spawn handle, if any, with the task's terminal
+    /// outcome. Called exactly once, by the single worker retiring the task,
+    /// strictly before the completion protocol releases barriers.
+    pub(crate) fn notify_handle(&self, outcome: TaskOutcome) {
+        if let Some(handle) = &self.handle {
+            handle.notify(outcome);
+        }
     }
 
     /// Record that the task's body panicked.

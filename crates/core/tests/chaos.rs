@@ -39,7 +39,11 @@ fn chaos_round(policy: Policy, seed: u64, wave: usize) {
             .policy(policy)
             // Half the seeds run genuinely overloaded (tiny watermark), the
             // other half keep the controller armed but out of reach.
-            .queue_watermark(if seed.is_multiple_of(2) { 32 } else { 1_000_000 })
+            .queue_watermark(if seed.is_multiple_of(2) {
+                32
+            } else {
+                1_000_000
+            })
             .deadline_miss_watermark(0.9)
             .fault_plan(
                 FaultPlan::new(seed)

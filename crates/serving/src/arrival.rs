@@ -1,0 +1,182 @@
+//! Open-loop load generation: seeded arrival schedules.
+//!
+//! Open-loop means arrivals do **not** wait for completions — the schedule
+//! is fixed up front (as in trace-driven FaaS harnesses), so overload is
+//! expressible: at 2× capacity the generator keeps submitting at 2× capacity
+//! no matter how far behind the server falls. Every pattern is a pure
+//! function of its parameters and a seed, so live runs and the deterministic
+//! simulator replay the identical schedule.
+
+use crate::rng::SplitMix64;
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// A seeded arrival process. All variants produce *offsets in nanoseconds
+/// from the start of the run*, sorted ascending.
+#[derive(Debug, Clone)]
+pub enum ArrivalPattern {
+    /// Memoryless Poisson arrivals at `rate_per_sec`.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_per_sec: f64,
+    },
+    /// On/off modulated Poisson: `burst_len_nanos` of `burst_rate_per_sec`
+    /// arrivals at the start of every `period_nanos`, `base_rate_per_sec`
+    /// for the remainder — the diurnal-spike shape open-loop serving
+    /// papers stress.
+    Bursty {
+        /// Arrival rate outside bursts, in requests per second.
+        base_rate_per_sec: f64,
+        /// Arrival rate inside bursts, in requests per second.
+        burst_rate_per_sec: f64,
+        /// Length of the bursty prefix of each period, nanoseconds.
+        burst_len_nanos: u64,
+        /// Modulation period, nanoseconds.
+        period_nanos: u64,
+    },
+    /// Verbatim replay of a recorded trace of arrival offsets (nanoseconds,
+    /// need not be sorted; the schedule sorts them).
+    Trace(Vec<u64>),
+}
+
+impl ArrivalPattern {
+    /// The first `count` arrival offsets of the seeded schedule, in
+    /// nanoseconds, ascending. A `Trace` returns at most its own length.
+    pub fn schedule(&self, seed: u64, count: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed ^ 0xa55a_5aa5_0f0f_f0f0);
+        match self {
+            ArrivalPattern::Poisson { rate_per_sec } => {
+                assert!(*rate_per_sec > 0.0, "Poisson rate must be positive");
+                let mut at = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        at += rng.next_exp(rate_per_sec / NANOS_PER_SEC);
+                        at as u64
+                    })
+                    .collect()
+            }
+            ArrivalPattern::Bursty {
+                base_rate_per_sec,
+                burst_rate_per_sec,
+                burst_len_nanos,
+                period_nanos,
+            } => {
+                assert!(*base_rate_per_sec > 0.0 && *burst_rate_per_sec > 0.0);
+                assert!(*period_nanos > 0 && burst_len_nanos <= period_nanos);
+                // Piecewise-Poisson via thinning-free segment walking: draw
+                // the next gap at the rate of the current segment; if it
+                // crosses the segment boundary, rescale the remainder at the
+                // next segment's rate (memorylessness makes this exact).
+                let mut schedule = Vec::with_capacity(count);
+                let mut at = 0.0f64;
+                while schedule.len() < count {
+                    let mut gap_units = rng.next_exp(1.0); // unit-rate exponential
+                    loop {
+                        let in_period = at % *period_nanos as f64;
+                        let in_burst = in_period < *burst_len_nanos as f64;
+                        let rate = if in_burst {
+                            burst_rate_per_sec / NANOS_PER_SEC
+                        } else {
+                            base_rate_per_sec / NANOS_PER_SEC
+                        };
+                        let boundary = if in_burst {
+                            *burst_len_nanos as f64 - in_period
+                        } else {
+                            *period_nanos as f64 - in_period
+                        };
+                        let gap = gap_units / rate;
+                        if gap <= boundary {
+                            at += gap;
+                            break;
+                        }
+                        at += boundary;
+                        gap_units -= boundary * rate;
+                    }
+                    schedule.push(at as u64);
+                }
+                schedule
+            }
+            ArrivalPattern::Trace(offsets) => {
+                let mut schedule: Vec<u64> = offsets.iter().copied().take(count).collect();
+                schedule.sort_unstable();
+                schedule
+            }
+        }
+    }
+
+    /// The pattern's long-run mean rate in requests per second (the trace
+    /// variant derives it from its own span).
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        match self {
+            ArrivalPattern::Poisson { rate_per_sec } => *rate_per_sec,
+            ArrivalPattern::Bursty {
+                base_rate_per_sec,
+                burst_rate_per_sec,
+                burst_len_nanos,
+                period_nanos,
+            } => {
+                let burst_fraction = *burst_len_nanos as f64 / *period_nanos as f64;
+                burst_rate_per_sec * burst_fraction + base_rate_per_sec * (1.0 - burst_fraction)
+            }
+            ArrivalPattern::Trace(offsets) => {
+                let span = offsets.iter().max().copied().unwrap_or(0);
+                if span == 0 {
+                    0.0
+                } else {
+                    offsets.len() as f64 / (span as f64 / NANOS_PER_SEC)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedule_is_sorted_deterministic_and_rate_accurate() {
+        let pattern = ArrivalPattern::Poisson {
+            rate_per_sec: 10_000.0,
+        };
+        let a = pattern.schedule(1, 20_000);
+        let b = pattern.schedule(1, 20_000);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "ascending offsets");
+        let span_secs = *a.last().unwrap() as f64 / NANOS_PER_SEC;
+        let rate = a.len() as f64 / span_secs;
+        assert!(
+            (rate - 10_000.0).abs() / 10_000.0 < 0.05,
+            "empirical rate {rate} within 5% of nominal"
+        );
+        assert_ne!(a, pattern.schedule(2, 20_000), "seeds differ");
+    }
+
+    #[test]
+    fn bursty_schedule_concentrates_arrivals_in_bursts() {
+        let pattern = ArrivalPattern::Bursty {
+            base_rate_per_sec: 1_000.0,
+            burst_rate_per_sec: 20_000.0,
+            burst_len_nanos: 2_000_000, // 2 ms burst...
+            period_nanos: 10_000_000,   // ...per 10 ms period
+        };
+        let schedule = pattern.schedule(3, 10_000);
+        assert!(schedule.windows(2).all(|w| w[0] <= w[1]));
+        let in_burst = schedule
+            .iter()
+            .filter(|&&at| at % 10_000_000 < 2_000_000)
+            .count();
+        // Expected burst share: (20k·2ms)/(20k·2ms + 1k·8ms) ≈ 83%.
+        let share = in_burst as f64 / schedule.len() as f64;
+        assert!(share > 0.7, "burst share {share} should dominate");
+        let mean = pattern.mean_rate_per_sec();
+        assert!((mean - (20_000.0 * 0.2 + 1_000.0 * 0.8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_schedule_sorts_and_truncates() {
+        let pattern = ArrivalPattern::Trace(vec![30, 10, 20, 40]);
+        assert_eq!(pattern.schedule(0, 3), vec![10, 20, 30]);
+        assert_eq!(pattern.schedule(9, 10).len(), 4, "seed-independent");
+    }
+}

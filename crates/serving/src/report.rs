@@ -1,0 +1,206 @@
+//! Serving-level accounting: the per-run scoreboard both the live server and
+//! the virtual-time simulator fill in.
+//!
+//! The central invariant is the **request accounting identity**:
+//! `offered == completed + violated + shed`. Nothing is ever silently lost —
+//! a request that exhausts its retries, misses its deadline, or is rejected
+//! by admission control is *counted*, in exactly one bucket.
+
+use crate::request::{RequestOutcome, ViolationKind};
+use crate::sketch::LatencySketch;
+
+/// Scoreboard for one serving run (or one phase of a run).
+#[derive(Debug, Clone, Default)]
+pub struct ServingStats {
+    /// Requests offered by the open-loop generator.
+    pub offered: u64,
+    /// Requests completed within their deadline.
+    pub completed: u64,
+    /// Requests shed (by admission control or runtime brownout).
+    pub shed: u64,
+    /// Final attempts that completed after the deadline.
+    pub late: u64,
+    /// Requests whose transient failures exhausted the retry budget.
+    pub retries_exhausted: u64,
+    /// Requests whose remaining deadline could not fit another attempt.
+    pub budget_exhausted: u64,
+    /// Requests cancelled by the caller mid-flight.
+    pub cancelled: u64,
+    /// Total retry attempts consumed across all requests.
+    pub retries: u64,
+    /// Requests admitted below tier 0 (graceful degradation engagements).
+    pub downgraded: u64,
+    /// Completions by ladder tier (index 0 = full quality). Grows on demand.
+    pub completed_by_tier: Vec<u64>,
+    /// Offered requests by class index. Grows on demand.
+    pub offered_by_class: Vec<u64>,
+    /// Shed requests by class index — together with `offered_by_class` this
+    /// makes significance-monotone shed order checkable: per-class shed
+    /// *fractions* must not increase with class significance.
+    pub shed_by_class: Vec<u64>,
+    /// Arrival-to-completion latency of completed requests, nanoseconds.
+    pub latency: LatencySketch,
+}
+
+fn bump(counts: &mut Vec<u64>, index: usize) {
+    if counts.len() <= index {
+        counts.resize(index + 1, 0);
+    }
+    counts[index] += 1;
+}
+
+impl ServingStats {
+    /// Record one terminal request outcome (call exactly once per offered
+    /// request).
+    pub fn record(&mut self, outcome: &RequestOutcome) {
+        match outcome {
+            RequestOutcome::Completed {
+                tier,
+                latency_nanos,
+                retries,
+            } => {
+                self.completed += 1;
+                self.retries += u64::from(*retries);
+                if self.completed_by_tier.len() <= *tier {
+                    self.completed_by_tier.resize(*tier + 1, 0);
+                }
+                self.completed_by_tier[*tier] += 1;
+                self.latency.record(*latency_nanos);
+            }
+            RequestOutcome::Violated(kind) => match kind {
+                ViolationKind::Late => self.late += 1,
+                ViolationKind::RetriesExhausted => self.retries_exhausted += 1,
+                ViolationKind::BudgetExhausted => self.budget_exhausted += 1,
+                ViolationKind::Cancelled => self.cancelled += 1,
+            },
+            RequestOutcome::Shed => self.shed += 1,
+        }
+    }
+
+    /// Note one offered request of `class` (call alongside bumping
+    /// `offered`).
+    pub fn note_offered_class(&mut self, class: usize) {
+        bump(&mut self.offered_by_class, class);
+    }
+
+    /// Note one shed request of `class` (call alongside recording
+    /// [`RequestOutcome::Shed`]).
+    pub fn note_shed_class(&mut self, class: usize) {
+        bump(&mut self.shed_by_class, class);
+    }
+
+    /// Per-class shed fraction (`0.0` for classes never offered).
+    pub fn shed_fraction(&self, class: usize) -> f64 {
+        let offered = self.offered_by_class.get(class).copied().unwrap_or(0);
+        if offered == 0 {
+            return 0.0;
+        }
+        let shed = self.shed_by_class.get(class).copied().unwrap_or(0);
+        shed as f64 / offered as f64
+    }
+
+    /// Total SLO violations (all [`ViolationKind`]s).
+    pub fn violations(&self) -> u64 {
+        self.late + self.retries_exhausted + self.budget_exhausted + self.cancelled
+    }
+
+    /// The request accounting identity: every offered request landed in
+    /// exactly one terminal bucket.
+    pub fn balanced(&self) -> bool {
+        self.offered == self.completed + self.violations() + self.shed
+    }
+
+    /// Fraction of offered requests completed within deadline.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+
+    /// Fold `other` into `self` (e.g. per-phase scoreboards into a run
+    /// total).
+    pub fn merge(&mut self, other: &ServingStats) {
+        self.offered += other.offered;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.late += other.late;
+        self.retries_exhausted += other.retries_exhausted;
+        self.budget_exhausted += other.budget_exhausted;
+        self.cancelled += other.cancelled;
+        self.retries += other.retries;
+        self.downgraded += other.downgraded;
+        if self.completed_by_tier.len() < other.completed_by_tier.len() {
+            self.completed_by_tier
+                .resize(other.completed_by_tier.len(), 0);
+        }
+        for (tier, count) in other.completed_by_tier.iter().enumerate() {
+            self.completed_by_tier[tier] += count;
+        }
+        for counts in [
+            (&mut self.offered_by_class, &other.offered_by_class),
+            (&mut self.shed_by_class, &other.shed_by_class),
+        ] {
+            let (mine, theirs) = counts;
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (class, count) in theirs.iter().enumerate() {
+                mine[class] += count;
+            }
+        }
+        self.latency.merge(&other.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_merge() {
+        let mut a = ServingStats {
+            offered: 4,
+            ..Default::default()
+        };
+        a.record(&RequestOutcome::Completed {
+            tier: 0,
+            latency_nanos: 1_000,
+            retries: 1,
+        });
+        a.record(&RequestOutcome::Completed {
+            tier: 2,
+            latency_nanos: 3_000,
+            retries: 0,
+        });
+        a.record(&RequestOutcome::Violated(ViolationKind::Late));
+        a.record(&RequestOutcome::Shed);
+        for class in [0, 0, 1, 2] {
+            a.note_offered_class(class);
+        }
+        a.note_shed_class(2);
+        assert!(a.balanced());
+        assert_eq!(a.violations(), 1);
+        assert_eq!(a.completed_by_tier, vec![1, 0, 1]);
+        assert_eq!(a.retries, 1);
+        assert!((a.goodput() - 0.5).abs() < 1e-12);
+
+        let mut b = ServingStats {
+            offered: 1,
+            ..Default::default()
+        };
+        b.record(&RequestOutcome::Violated(ViolationKind::RetriesExhausted));
+        b.note_offered_class(2);
+        assert!(b.balanced());
+        a.merge(&b);
+        assert_eq!(a.offered, 5);
+        assert!(a.balanced());
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.offered_by_class, vec![2, 1, 2]);
+        assert_eq!(a.shed_by_class, vec![0, 0, 1]);
+        assert!((a.shed_fraction(2) - 0.5).abs() < 1e-12);
+        assert_eq!(a.shed_fraction(0), 0.0);
+        assert_eq!(a.shed_fraction(9), 0.0);
+    }
+}

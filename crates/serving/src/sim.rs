@@ -1,0 +1,569 @@
+//! Deterministic virtual-time serving simulator.
+//!
+//! The live [`Server`](crate::server::Server) measures real wall-clock
+//! latency, which no CI gate can pin down. The simulator replays the *same*
+//! serving semantics — open-loop arrivals, admission control with
+//! downgrade-before-shed, retry budgets, per-attempt faults — as a
+//! discrete-event model over **virtual nanoseconds**: `W` simulated workers,
+//! a FIFO ready queue, deterministic service times (`base_service ×
+//! work_factor`, dilated by the governor's frequency decision), and seeded
+//! fault/backoff draws. Same seed, same config ⇒ bit-identical scoreboard,
+//! tail percentiles, and joules, on any machine.
+//!
+//! Energy flows through the real [`ExecutionEnv`] — the governor under test
+//! makes its actual dispatch decisions and the affine power model prices
+//! them — so the simulator compares energy strategies with the same
+//! accounting the runtime uses, just driven by synthetic durations (the same
+//! trick as the governor conformance kit).
+//!
+//! Successive [`Simulator::run`] calls share controller, governor, and
+//! energy state: a pre-storm / storm / post-storm sequence is three calls on
+//! one simulator, each returning its own [`PhaseReport`].
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Duration;
+
+use sig_core::{DispatchContext, ExecutionEnv, ExecutionMode, Policy};
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
+use crate::report::ServingStats;
+use crate::request::{RequestClass, RequestOutcome, ViolationKind};
+use crate::rng::SplitMix64;
+
+/// Tuning for a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated worker count (must match the [`ExecutionEnv`] shard count).
+    pub workers: usize,
+    /// Tier-0 service time of an attempt, virtual nanoseconds.
+    pub base_service_nanos: u64,
+    /// Per-attempt transient-fault probability, per mille (the simulated
+    /// fault plan: a faulted attempt consumes half its service time, then
+    /// panics).
+    pub panic_per_mille: u16,
+    /// Seed for fault and backoff-jitter draws.
+    pub seed: u64,
+    /// Admission-control tuning.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            workers: 4,
+            base_service_nanos: 1_000_000, // 1 ms
+            panic_per_mille: 0,
+            seed: 42,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// The scoreboard and energy bill of one [`Simulator::run`] phase.
+#[derive(Debug)]
+pub struct PhaseReport {
+    /// Request accounting for the phase (its identity must hold).
+    pub stats: ServingStats,
+    /// Modelled joules consumed during the phase (static + dynamic, priced
+    /// by the environment's power model over the phase's virtual span).
+    pub joules: f64,
+    /// Virtual span of the phase, nanoseconds.
+    pub wall_nanos: u64,
+}
+
+impl PhaseReport {
+    /// Modelled joules per completed request (`inf` if energy was spent and
+    /// nothing completed).
+    pub fn joules_per_completed(&self) -> f64 {
+        if self.stats.completed == 0 {
+            if self.joules == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.joules / self.stats.completed as f64
+        }
+    }
+}
+
+enum EventKind {
+    Arrival {
+        class: usize,
+    },
+    Finish {
+        worker: usize,
+        request: usize,
+        busy_nanos: u64,
+        panicked: bool,
+    },
+    Retry {
+        request: usize,
+    },
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    // Ties break by push order (seq), keeping replay deterministic.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct SimRequest {
+    class: usize,
+    arrival: u64,
+    deadline: u64,
+    tier: usize,
+    downgraded: bool,
+    attempts: u32,
+}
+
+/// Discrete-event serving model (see module docs).
+pub struct Simulator {
+    config: SimConfig,
+    classes: Vec<RequestClass>,
+    env: ExecutionEnv,
+    admission: AdmissionController,
+    rng: SplitMix64,
+    /// Virtual now, carried across phases.
+    now: u64,
+    /// Joules watermark at the end of the previous phase.
+    consumed_joules: f64,
+}
+
+impl Simulator {
+    /// A simulator over `classes`, pricing energy through `env` (which must
+    /// have been built with `config.workers` shards and the governor under
+    /// test).
+    pub fn new(config: SimConfig, classes: Vec<RequestClass>, env: ExecutionEnv) -> Self {
+        assert!(config.workers > 0);
+        assert!(config.base_service_nanos > 0);
+        for class in &classes {
+            class.validate();
+        }
+        Simulator {
+            admission: AdmissionController::new(config.admission),
+            rng: SplitMix64::new(config.seed ^ 0x51e7_ab1e_0dd5_ca1e),
+            config,
+            classes,
+            env,
+            now: 0,
+            consumed_joules: 0.0,
+        }
+    }
+
+    /// Service time of one attempt of `class` at `tier`, virtual nanos
+    /// (before frequency dilation).
+    fn service_nanos(&self, class: usize, tier: usize) -> u64 {
+        let quality = self.classes[class].tiers[self.classes[class].clamp_tier(tier)];
+        ((self.config.base_service_nanos as f64 * quality.work_factor) as u64).max(1)
+    }
+
+    /// Run one phase: `schedule` pairs `(arrival offset from phase start,
+    /// class index)`, ascending. Returns when every offered request of the
+    /// phase is terminal. Controller, governor, and energy state carry over
+    /// to the next phase.
+    pub fn run(&mut self, schedule: &[(u64, usize)]) -> PhaseReport {
+        let phase_start = self.now;
+        let mut stats = ServingStats::default();
+        let mut requests: Vec<SimRequest> = Vec::with_capacity(schedule.len());
+        let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(schedule.len() * 2);
+        let mut ready: VecDeque<usize> = VecDeque::new();
+        let mut free_workers: Vec<usize> = (0..self.config.workers).rev().collect();
+        let mut in_flight = 0usize;
+        let mut seq = 0u64;
+
+        for &(offset, class) in schedule {
+            heap.push(Event {
+                at: phase_start.saturating_add(offset),
+                seq,
+                kind: EventKind::Arrival { class },
+            });
+            seq += 1;
+        }
+
+        while let Some(event) = heap.pop() {
+            self.now = self.now.max(event.at);
+            let at = event.at;
+            match event.kind {
+                EventKind::Arrival { class } => {
+                    stats.offered += 1;
+                    stats.note_offered_class(class);
+                    let spec = &self.classes[class];
+                    match self.admission.decide(spec, in_flight) {
+                        AdmissionDecision::Shed => {
+                            stats.record(&RequestOutcome::Shed);
+                            stats.note_shed_class(class);
+                        }
+                        AdmissionDecision::Admit { tier } => {
+                            let tier = spec.clamp_tier(tier);
+                            requests.push(SimRequest {
+                                class,
+                                arrival: at,
+                                deadline: at.saturating_add(spec.deadline.as_nanos() as u64),
+                                tier,
+                                downgraded: tier > 0,
+                                attempts: 0,
+                            });
+                            in_flight += 1;
+                            ready.push_back(requests.len() - 1);
+                        }
+                    }
+                }
+                EventKind::Finish {
+                    worker,
+                    request,
+                    busy_nanos,
+                    panicked,
+                } => {
+                    free_workers.push(worker);
+                    let terminal = if panicked {
+                        self.resolve_transient(
+                            request,
+                            at,
+                            &mut requests,
+                            &mut heap,
+                            &mut seq,
+                            &mut ready,
+                            in_flight,
+                            &mut stats,
+                        )
+                    } else {
+                        let req = &requests[request];
+                        let latency = at.saturating_sub(req.arrival);
+                        let missed = at > req.deadline;
+                        self.admission.observe(busy_nanos, missed);
+                        if missed {
+                            stats.record(&RequestOutcome::Violated(ViolationKind::Late));
+                        } else {
+                            stats.record(&RequestOutcome::Completed {
+                                tier: req.tier,
+                                latency_nanos: latency,
+                                retries: req.attempts.saturating_sub(1),
+                            });
+                        }
+                        true
+                    };
+                    if terminal {
+                        if requests[request].downgraded {
+                            stats.downgraded += 1;
+                        }
+                        in_flight -= 1;
+                    }
+                }
+                EventKind::Retry { request } => {
+                    // Retries re-enter admission: under pressure they come
+                    // back at a lower tier, or are shed outright.
+                    let class = requests[request].class;
+                    let spec = &self.classes[class];
+                    match self.admission.decide(spec, in_flight) {
+                        AdmissionDecision::Shed => {
+                            stats.record(&RequestOutcome::Shed);
+                            stats.note_shed_class(class);
+                            if requests[request].downgraded {
+                                stats.downgraded += 1;
+                            }
+                            in_flight -= 1;
+                        }
+                        AdmissionDecision::Admit { tier } => {
+                            let req = &mut requests[request];
+                            let tier = spec.clamp_tier(tier.max(req.tier));
+                            req.downgraded |= tier > 0;
+                            req.tier = tier;
+                            ready.push_back(request);
+                        }
+                    }
+                }
+            }
+            self.dispatch(
+                at,
+                &mut requests,
+                &mut heap,
+                &mut seq,
+                &mut ready,
+                &mut free_workers,
+            );
+        }
+
+        let wall_nanos = self.now - phase_start;
+        let total_joules = self
+            .env
+            .report(self.now as f64 * 1e-9, self.config.workers)
+            .reading()
+            .joules;
+        let joules = total_joules - self.consumed_joules;
+        self.consumed_joules = total_joules;
+        PhaseReport {
+            stats,
+            joules,
+            wall_nanos,
+        }
+    }
+
+    /// Start attempts on every free worker while the ready queue is
+    /// non-empty.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        at: u64,
+        requests: &mut [SimRequest],
+        heap: &mut BinaryHeap<Event>,
+        seq: &mut u64,
+        ready: &mut VecDeque<usize>,
+        free_workers: &mut Vec<usize>,
+    ) {
+        while !free_workers.is_empty() {
+            let Some(request) = ready.pop_front() else {
+                return;
+            };
+            let worker = free_workers.pop().unwrap();
+            let req = &mut requests[request];
+            req.attempts += 1;
+            let spec = &self.classes[req.class];
+            let quality = spec.tiers[spec.clamp_tier(req.tier)];
+            let service =
+                ((self.config.base_service_nanos as f64 * quality.work_factor) as u64).max(1);
+            // Full-quality (tier 0) attempts are the "accurate body"; lower
+            // tiers are the approximate variant the governor may scale.
+            let ctx = DispatchContext {
+                worker,
+                significance: quality.significance.into(),
+                accurate: req.tier == 0,
+                policy: Policy::SignificanceAgnostic,
+                group_ratio: 1.0,
+                deadline_pressure: at.saturating_add(service) > req.deadline,
+            };
+            let decision = self.env.dispatch(worker, &ctx);
+            let panicked = self.config.panic_per_mille > 0
+                && self.rng.next_u64() % 1000 < u64::from(self.config.panic_per_mille);
+            // A faulted attempt burns half its service time before dying.
+            let busy = if panicked {
+                (service / 2).max(1)
+            } else {
+                service
+            };
+            let wall = (busy as f64 * decision.scale().time_dilation()) as u64;
+            let mode = if req.tier == 0 {
+                ExecutionMode::Accurate
+            } else {
+                ExecutionMode::Approximate
+            };
+            self.env
+                .record(worker, mode, Duration::from_nanos(busy), decision);
+            heap.push(Event {
+                at: at.saturating_add(wall.max(1)),
+                seq: *seq,
+                kind: EventKind::Finish {
+                    worker,
+                    request,
+                    busy_nanos: busy,
+                    panicked,
+                },
+            });
+            *seq += 1;
+        }
+    }
+
+    /// A transient (panicked) attempt: back off and retry within the
+    /// deadline budget, or finalise as an accounted violation. Returns
+    /// `true` when the request is terminal.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_transient(
+        &mut self,
+        request: usize,
+        at: u64,
+        requests: &mut [SimRequest],
+        heap: &mut BinaryHeap<Event>,
+        seq: &mut u64,
+        _ready: &mut VecDeque<usize>,
+        _in_flight: usize,
+        stats: &mut ServingStats,
+    ) -> bool {
+        let req = &requests[request];
+        let spec = &self.classes[req.class];
+        if req.attempts > spec.retry.max_retries {
+            self.admission
+                .observe(self.service_nanos(req.class, req.tier), true);
+            stats.record(&RequestOutcome::Violated(ViolationKind::RetriesExhausted));
+            return true;
+        }
+        let backoff = spec.retry.backoff_nanos(req.attempts, &mut self.rng);
+        let expected = self
+            .admission
+            .expected_service_nanos()
+            .max(self.service_nanos(req.class, req.tier));
+        let resume = at.saturating_add(backoff);
+        if resume.saturating_add(expected) > req.deadline {
+            self.admission.observe(expected, true);
+            stats.record(&RequestOutcome::Violated(ViolationKind::BudgetExhausted));
+            return true;
+        }
+        heap.push(Event {
+            at: resume,
+            seq: *seq,
+            kind: EventKind::Retry { request },
+        });
+        *seq += 1;
+        false
+    }
+
+    /// The admission controller's live state.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Virtual now, nanoseconds since simulator construction.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalPattern;
+    use crate::request::{QualityTier, RetryPolicy};
+    use sig_core::{ExecutionEnv, NominalGovernor, PowerModel, TransitionCost};
+    use std::sync::Arc;
+
+    fn env(workers: usize) -> ExecutionEnv {
+        ExecutionEnv::new(
+            PowerModel::for_host(),
+            Arc::new(NominalGovernor),
+            None,
+            TransitionCost::free(),
+            workers,
+        )
+    }
+
+    fn ladder_class(significance: f64) -> RequestClass {
+        RequestClass {
+            name: "ladder".into(),
+            tiers: vec![
+                QualityTier {
+                    significance,
+                    work_factor: 1.0,
+                },
+                QualityTier {
+                    significance: significance * 0.6,
+                    work_factor: 0.5,
+                },
+                QualityTier {
+                    significance: significance * 0.3,
+                    work_factor: 0.25,
+                },
+            ],
+            deadline: Duration::from_millis(20),
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_micros(200),
+                jitter: 0.3,
+            },
+        }
+    }
+
+    fn schedule(rate: f64, count: usize, seed: u64) -> Vec<(u64, usize)> {
+        ArrivalPattern::Poisson { rate_per_sec: rate }
+            .schedule(seed, count)
+            .into_iter()
+            .map(|at| (at, 0))
+            .collect()
+    }
+
+    #[test]
+    fn underload_completes_everything_at_full_quality() {
+        // 4 workers × 1 ms service = 4000 rps capacity; offer 1000 rps.
+        let mut sim = Simulator::new(SimConfig::default(), vec![ladder_class(0.8)], env(4));
+        let report = sim.run(&schedule(1000.0, 2000, 7));
+        assert!(report.stats.balanced(), "{:?}", report.stats);
+        assert_eq!(report.stats.completed, 2000);
+        assert_eq!(report.stats.shed, 0);
+        assert_eq!(report.stats.completed_by_tier[0], 2000);
+        assert!(report.joules > 0.0);
+    }
+
+    #[test]
+    fn overload_downgrades_then_sheds_and_books_balance() {
+        let mut sim = Simulator::new(
+            SimConfig {
+                panic_per_mille: 150,
+                ..Default::default()
+            },
+            vec![ladder_class(0.8)],
+            env(4),
+        );
+        // 6× tier-0 capacity with 15% attempt faults — beyond what the
+        // ladder (4× at its lowest rung) can absorb, so shedding must
+        // engage after degradation does.
+        let report = sim.run(&schedule(24_000.0, 8000, 9));
+        let stats = &report.stats;
+        assert!(stats.balanced(), "{stats:?}");
+        assert_eq!(stats.offered, 8000);
+        assert!(stats.downgraded > 0, "pressure must downgrade: {stats:?}");
+        assert!(stats.shed > 0, "2× load must shed: {stats:?}");
+        assert!(stats.completed > 0, "degradation keeps goodput: {stats:?}");
+        assert!(
+            stats.downgraded > stats.shed / 8,
+            "downgrade engages, not just shedding: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = || {
+            let mut sim = Simulator::new(
+                SimConfig {
+                    panic_per_mille: 100,
+                    ..Default::default()
+                },
+                vec![ladder_class(0.7)],
+                env(4),
+            );
+            let report = sim.run(&schedule(6000.0, 4000, 3));
+            (
+                report.stats.completed,
+                report.stats.shed,
+                report.stats.violations(),
+                report.stats.latency.quantile(0.99),
+                report.joules.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn phases_share_state_and_report_separately() {
+        let mut sim = Simulator::new(SimConfig::default(), vec![ladder_class(0.8)], env(4));
+        let calm = sim.run(&schedule(1000.0, 1000, 1));
+        let storm = sim.run(&schedule(30_000.0, 4000, 2));
+        let after = sim.run(&schedule(1000.0, 1000, 4));
+        for phase in [&calm, &storm, &after] {
+            assert!(phase.stats.balanced());
+        }
+        assert!(storm.stats.shed > 0);
+        assert!(
+            after.stats.latency.quantile(0.99) < storm.stats.latency.quantile(0.99),
+            "post-storm p99 recovers"
+        );
+        assert!(calm.joules > 0.0 && storm.joules > 0.0 && after.joules > 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Overload-storm chaos tests for the serving layer.
+//!
+//! Drives a seeded storm at 2× capacity with 15% transient panics through
+//! the admission controller and asserts the robustness contract end to end:
+//! the books balance in every phase (nothing is silently lost), shedding is
+//! significance-monotone (lower-significance classes shed at a rate no lower
+//! than higher ones, and a significance-1.0 class is never shed), the system
+//! does not deadlock, and post-storm tail latency recovers below the
+//! pre-storm watermark.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sig_core::{ExecutionEnv, FaultPlan, NominalGovernor, PowerModel, Runtime, TransitionCost};
+use sig_serving::{
+    ArrivalPattern, RequestClass, RetryPolicy, Server, ServerConfig, SimConfig, Simulator,
+    SplitMix64,
+};
+
+/// Three single-tier classes in ascending significance. Single-tier on
+/// purpose: with no degradation ladder to absorb pressure, a 2× storm must
+/// engage the shed path, which is what this suite exercises.
+fn storm_classes(deadline: Duration) -> Vec<RequestClass> {
+    let retry = RetryPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_micros(250),
+        jitter: 0.3,
+    };
+    vec![
+        RequestClass::exact("background", 0.2, deadline, retry),
+        RequestClass::exact("standard", 0.6, deadline, retry),
+        RequestClass::exact("critical", 1.0, deadline, retry),
+    ]
+}
+
+/// Seeded Poisson arrivals paired with seeded class picks
+/// (40% background / 40% standard / 20% critical).
+fn mixed_schedule(rate: f64, count: usize, seed: u64) -> Vec<(u64, usize)> {
+    let offsets = ArrivalPattern::Poisson { rate_per_sec: rate }.schedule(seed, count);
+    let mut rng = SplitMix64::new(seed ^ 0x5707_11ca_55e5_0001);
+    offsets
+        .into_iter()
+        .map(|at| {
+            let class = match rng.next_u64() % 10 {
+                0..=3 => 0,
+                4..=7 => 1,
+                _ => 2,
+            };
+            (at, class)
+        })
+        .collect()
+}
+
+/// Assert per-class shed *fractions* are non-increasing with significance
+/// (classes are indexed in ascending significance order).
+fn assert_shed_monotone(stats: &sig_serving::ServingStats) {
+    for class in 1..3 {
+        assert!(
+            stats.shed_fraction(class) <= stats.shed_fraction(class - 1) + 1e-12,
+            "shed order must be significance-monotone: fractions {:?} (shed {:?} / offered {:?})",
+            (0..3).map(|c| stats.shed_fraction(c)).collect::<Vec<_>>(),
+            stats.shed_by_class,
+            stats.offered_by_class,
+        );
+    }
+    assert_eq!(
+        stats.shed_by_class.get(2).copied().unwrap_or(0),
+        0,
+        "significance-1.0 requests are never shed: {:?}",
+        stats.shed_by_class
+    );
+}
+
+/// Deterministic virtual-time storm: pre 0.6× → storm 2× (15% panics armed
+/// throughout) → post 0.6×, all phases on one simulator so the controller,
+/// governor and energy state carry across.
+#[test]
+fn seeded_storm_sheds_monotonically_and_recovers() {
+    // 4 workers × 1 ms service = 4000 rps capacity.
+    let config = SimConfig {
+        panic_per_mille: 150,
+        seed: 0x5702_a001,
+        ..SimConfig::default()
+    };
+    let env = ExecutionEnv::new(
+        PowerModel::for_host(),
+        Arc::new(NominalGovernor),
+        None,
+        TransitionCost::free(),
+        config.workers,
+    );
+    let mut sim = Simulator::new(config, storm_classes(Duration::from_millis(20)), env);
+
+    let pre = sim.run(&mixed_schedule(2_400.0, 2_400, 11));
+    let storm = sim.run(&mixed_schedule(8_000.0, 8_000, 12));
+    let post = sim.run(&mixed_schedule(2_400.0, 2_400, 13));
+
+    for (name, phase) in [("pre", &pre), ("storm", &storm), ("post", &post)] {
+        assert!(
+            phase.stats.balanced(),
+            "{name} phase loses requests: {:?}",
+            phase.stats
+        );
+    }
+    assert!(
+        storm.stats.shed > 0,
+        "2× storm must shed: {:?}",
+        storm.stats
+    );
+    assert_shed_monotone(&storm.stats);
+
+    let pre_p99 = pre.stats.latency.quantile(0.99);
+    let storm_p99 = storm.stats.latency.quantile(0.99);
+    let post_p99 = post.stats.latency.quantile(0.99);
+    assert!(
+        storm_p99 > pre_p99,
+        "storm must visibly stress the tail (pre {pre_p99}, storm {storm_p99})"
+    );
+    assert!(
+        post_p99 < storm_p99,
+        "post-storm p99 must drop below the storm tail"
+    );
+    assert!(
+        post_p99 <= pre_p99,
+        "post-storm p99 must recover below the pre-storm watermark \
+         (pre {pre_p99}, post {post_p99})"
+    );
+}
+
+/// The same storm through the live server and a real runtime with the fault
+/// injector armed: both accounting layers must balance, the critical class
+/// must never shed, and drain must return (no deadlock).
+#[test]
+fn live_storm_balances_both_ledgers() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    let rt = Runtime::builder()
+        .workers(workers)
+        .fault_plan(FaultPlan::new(0x570).panics(150))
+        .build();
+    let base_work = Duration::from_micros(500);
+    let mut server = Server::new(
+        &rt,
+        storm_classes(Duration::from_millis(50)),
+        ServerConfig {
+            base_work,
+            ..Default::default()
+        },
+    );
+
+    // Capacity = workers / base_work; offer 2× that for ~100 ms.
+    let capacity = workers as f64 / base_work.as_secs_f64();
+    let rate = 2.0 * capacity;
+    let count = (rate * 0.1) as usize;
+    server.run(&mixed_schedule(rate, count, 21));
+
+    let stats = server.stats().clone();
+    assert!(stats.balanced(), "serving ledger: {stats:?}");
+    assert_eq!(stats.offered, count as u64);
+    assert_eq!(
+        stats.shed_by_class.get(2).copied().unwrap_or(0),
+        0,
+        "significance-1.0 requests are never shed: {:?}",
+        stats.shed_by_class
+    );
+
+    let outcomes = rt.wait_all();
+    assert_eq!(
+        outcomes.completed + outcomes.failed(),
+        outcomes.spawned,
+        "runtime ledger: {outcomes:?}"
+    );
+}
