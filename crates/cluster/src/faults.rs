@@ -1,0 +1,109 @@
+//! Node-level fault schedules: join, leave, crash, restart.
+//!
+//! Same contract as the runtime's task-level
+//! [`FaultPlan`](sig_core::FaultPlan): faults are **seeded and declared up
+//! front**, so every chaos run replays bit-identically. A fault is an event
+//! in the cluster kernel's heap like any other — `Down` crashes a node
+//! (losing its queued and in-flight work to the `lost_to_crash` ledger),
+//! `Up` restarts it (or joins a node that started down).
+
+use sig_serving::SplitMix64;
+
+/// What happens to the node at the fault's virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// Crash/leave: queued and running requests are lost (ledgered), the
+    /// node stops drawing power, stale finishes are ignored.
+    Down,
+    /// Restart/join: fresh queue, workers, and admission state.
+    Up,
+}
+
+/// One scheduled node fault, at a phase-relative offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// Offset from the start of the phase, virtual nanoseconds.
+    pub at_offset: u64,
+    /// Index of the affected node.
+    pub node: usize,
+    /// Down or up.
+    pub kind: NodeFaultKind,
+}
+
+/// A seeded kill-and-restart storm: `fraction` of `nodes` (at least one,
+/// chosen by seeded shuffle) go down at `down_offset` and come back at
+/// `up_offset`. The selection is a pure function of the seed — the chaos
+/// battery replays it bit-identically.
+pub fn crash_storm(
+    seed: u64,
+    nodes: usize,
+    fraction: f64,
+    down_offset: u64,
+    up_offset: u64,
+) -> Vec<NodeFault> {
+    assert!(nodes > 0);
+    assert!((0.0..=1.0).contains(&fraction));
+    assert!(down_offset < up_offset);
+    let kill = ((nodes as f64 * fraction).round() as usize).clamp(1, nodes);
+    // Seeded Fisher–Yates over the node indices; the prefix is the kill set.
+    let mut order: Vec<usize> = (0..nodes).collect();
+    let mut rng = SplitMix64::new(seed ^ 0xc1a5_4e57_0f00_d5e1);
+    for i in (1..nodes).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut faults = Vec::with_capacity(kill * 2);
+    for &node in order.iter().take(kill) {
+        faults.push(NodeFault {
+            at_offset: down_offset,
+            node,
+            kind: NodeFaultKind::Down,
+        });
+        faults.push(NodeFault {
+            at_offset: up_offset,
+            node,
+            kind: NodeFaultKind::Up,
+        });
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_storm_is_seeded_and_sized() {
+        let a = crash_storm(7, 10, 0.3, 1_000, 5_000);
+        let b = crash_storm(7, 10, 0.3, 1_000, 5_000);
+        assert_eq!(a, b, "same seed, same storm");
+        assert_ne!(a, crash_storm(8, 10, 0.3, 1_000, 5_000));
+        // 30% of 10 nodes: 3 distinct victims, one Down + one Up each.
+        let downs: Vec<usize> = a
+            .iter()
+            .filter(|f| f.kind == NodeFaultKind::Down)
+            .map(|f| f.node)
+            .collect();
+        assert_eq!(downs.len(), 3);
+        let mut unique = downs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "victims are distinct");
+        assert!(a
+            .iter()
+            .filter(|f| f.kind == NodeFaultKind::Up)
+            .all(|f| downs.contains(&f.node) && f.at_offset == 5_000));
+    }
+
+    #[test]
+    fn at_least_one_victim() {
+        let storm = crash_storm(1, 3, 0.01, 10, 20);
+        assert_eq!(
+            storm
+                .iter()
+                .filter(|f| f.kind == NodeFaultKind::Down)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Fleet-level phase reports: the merged scoreboard, two energy ledgers,
+//! and the cap-violation integral.
+//!
+//! A cluster run carries **two** energy numbers, deliberately distinct:
+//!
+//! * [`ClusterPhaseReport::joules`] — the sum of every node's real
+//!   [`EnergyReport`](sig_core::EnergyReport) reading (static + dynamic +
+//!   idle + transitions over each node's up-time). This is the number
+//!   "joules per completed request" divides, comparable with the
+//!   single-node serving bench.
+//! * [`ClusterPhaseReport::power_integral_joules`] — the exact piecewise-
+//!   constant integral of the fleet's modelled *instantaneous* draw (the
+//!   per-node [`UtilizationPowerCurve`](sig_energy::UtilizationPowerCurve)
+//!   at the busy set of every moment). The cap guarantee is stated against
+//!   this ledger: [`ClusterPhaseReport::violation_joules`] integrates only
+//!   the part *above* the cap and must be zero whenever the cap is
+//!   feasible.
+
+use sig_serving::ServingStats;
+
+/// The scoreboard and energy bill of one cluster phase.
+#[derive(Debug)]
+pub struct ClusterPhaseReport {
+    /// Fleet-merged request accounting: `offered` counted once at cluster
+    /// ingress, outcomes merged from every node's book plus the cluster's
+    /// own (ingress sheds).
+    pub stats: ServingStats,
+    /// Requests lost because their node crashed — ledgered separately from
+    /// sheds and violations (nothing is lost silently, the fleet identity
+    /// includes this bucket).
+    pub lost_to_crash: u64,
+    /// Lost-to-crash requests by class index.
+    pub lost_by_class: Vec<u64>,
+    /// Node-environment energy for the phase, joules (see module docs).
+    pub joules: f64,
+    /// Integral of the fleet's modelled instantaneous draw, joules.
+    pub power_integral_joules: f64,
+    /// Integral of modelled draw **above the cap**, joules. Zero means the
+    /// cap held at every instant of the phase.
+    pub violation_joules: f64,
+    /// Virtual span of the phase, nanoseconds.
+    pub wall_nanos: u64,
+    /// Highest best-tier significance of any shed request this phase
+    /// (negative when nothing was shed). Must stay strictly below 1.0.
+    pub max_shed_significance: f64,
+    /// Accurate (tier-0) dispatches that executed below nominal frequency.
+    /// The cluster conformance harness pins this to zero: no cap pressure
+    /// may scale critical work.
+    pub accurate_scaled: u64,
+}
+
+impl ClusterPhaseReport {
+    /// The fleet accounting identity:
+    /// `offered == completed + violations + shed + lost_to_crash`.
+    pub fn balanced(&self) -> bool {
+        self.stats.offered
+            == self.stats.completed + self.stats.violations() + self.stats.shed + self.lost_to_crash
+    }
+
+    /// Fraction of offered requests completed within deadline.
+    pub fn goodput(&self) -> f64 {
+        if self.stats.offered == 0 {
+            0.0
+        } else {
+            self.stats.completed as f64 / self.stats.offered as f64
+        }
+    }
+
+    /// Node-environment joules per completed request (`inf` if energy was
+    /// spent and nothing completed).
+    pub fn joules_per_completed(&self) -> f64 {
+        if self.stats.completed == 0 {
+            if self.joules == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.joules / self.stats.completed as f64
+        }
+    }
+
+    /// Mean modelled fleet draw over the phase, watts.
+    pub fn average_watts(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.power_integral_joules / (self.wall_nanos as f64 * 1e-9)
+        }
+    }
+
+    /// A byte-deterministic one-line summary: every float is rendered as
+    /// its exact IEEE-754 bit pattern, so two runs agree **iff** they are
+    /// bit-identical. The determinism replay test compares these across
+    /// whole cluster runs.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "offered={} completed={} shed={} late={} retries_exhausted={} budget_exhausted={} \
+             lost={} downgraded={} retries={} p50={} p99={} wall={} joules={:016x} \
+             power={:016x} violation={:016x} max_shed_sig={:016x} accurate_scaled={}",
+            self.stats.offered,
+            self.stats.completed,
+            self.stats.shed,
+            self.stats.late,
+            self.stats.retries_exhausted,
+            self.stats.budget_exhausted,
+            self.lost_to_crash,
+            self.stats.downgraded,
+            self.stats.retries,
+            self.stats.latency.quantile(0.50),
+            self.stats.latency.quantile(0.99),
+            self.wall_nanos,
+            self.joules.to_bits(),
+            self.power_integral_joules.to_bits(),
+            self.violation_joules.to_bits(),
+            self.max_shed_significance.to_bits(),
+            self.accurate_scaled,
+        )
+    }
+}

@@ -1,0 +1,914 @@
+//! The bit-deterministic multi-node discrete-event kernel.
+//!
+//! Same architecture as `sig_serving::sim` — a seeded virtual clock, a
+//! `BinaryHeap` of events ordered `(time, push-order)` — scaled out to a
+//! fleet: every [`Node`] owns a real `ExecutionEnv` + governor + admission
+//! controller, a [`ClusterDispatcher`] routes each arrival, and a
+//! [`PowerCapController`] re-targets per-node busy-slot budgets and
+//! frequency caps on a control tick so the fleet's modelled draw never
+//! exceeds the global cap.
+//!
+//! Everything is a pure function of `(config, classes, schedule, faults,
+//! seed)`: no wall clock, no hash-map iteration, one `SplitMix64` for every
+//! draw. Two runs with the same inputs produce byte-identical
+//! [`ClusterPhaseReport::fingerprint`]s — at 4 nodes or 400.
+//!
+//! Power is integrated **exactly**: the fleet's modelled draw is piecewise
+//! constant between events, so the kernel advances
+//! `∫P dt` and `∫max(0, P − cap) dt` at every event boundary and refreshes
+//! the cached per-node watts whenever a busy set changes. The cap guarantee
+//! is therefore checked against the same ledger the controller budgets.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sig_core::{DispatchContext, ExecutionMode, Governor, NominalGovernor, Policy};
+use sig_energy::{PowerModel, SleepState, TransitionCost, UtilizationPowerCurve};
+use sig_serving::{
+    AdmissionConfig, AdmissionDecision, RequestClass, RequestOutcome, ServingStats, SplitMix64,
+    ViolationKind,
+};
+
+use crate::cap::{CapConfig, ClusterAdmission, PowerCapController};
+use crate::dispatch::{ClusterDispatcher, DispatchPolicy, RouteCandidate};
+use crate::faults::{NodeFault, NodeFaultKind};
+use crate::node::{Node, RunningAttempt};
+use crate::report::ClusterPhaseReport;
+
+/// Smoothing factor for each node's routed-load EWMA (updated per control
+/// tick).
+const LOAD_EWMA_ALPHA: f64 = 0.3;
+
+/// Tuning for a [`ClusterSim`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Fleet size.
+    pub nodes: usize,
+    /// Simulated workers (cores) per node.
+    pub workers_per_node: usize,
+    /// Tier-0 service time of an attempt, virtual nanoseconds.
+    pub base_service_nanos: u64,
+    /// Per-attempt transient-fault probability, per mille (a faulted
+    /// attempt burns half its service time, then panics).
+    pub panic_per_mille: u16,
+    /// Seed for fault and backoff draws.
+    pub seed: u64,
+    /// Per-node admission tuning. The default raises the node-local shed
+    /// knees well above the cluster controller's, so fleet-level shedding —
+    /// monotone by construction — owns the shed decision and nodes mostly
+    /// degrade.
+    pub admission: AdmissionConfig,
+    /// Global power-cap controller tuning.
+    pub cap: CapConfig,
+    /// Routing policy.
+    pub policy: DispatchPolicy,
+    /// Per-node power model (prices each node's `ExecutionEnv`).
+    pub node_model: PowerModel,
+    /// Per-node utilization→watts curve (prices the cap ledger).
+    pub curve: UtilizationPowerCurve,
+    /// Sleep state race-to-idle residency is priced at.
+    pub sleep: Option<SleepState>,
+    /// Cost per frequency-domain switch.
+    pub transition_cost: TransitionCost,
+}
+
+/// The default per-node power model: a small 2-core node.
+pub fn default_node_model(workers: usize) -> PowerModel {
+    PowerModel {
+        sockets: 1,
+        cores_per_socket: workers,
+        static_watts_per_socket: 2.0,
+        active_watts_per_core: 6.6,
+        idle_watts_per_core: 0.5,
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let workers = 2;
+        let node_model = default_node_model(workers);
+        ClusterConfig {
+            nodes: 4,
+            workers_per_node: workers,
+            base_service_nanos: 1_000_000, // 1 ms
+            panic_per_mille: 0,
+            seed: 42,
+            admission: AdmissionConfig {
+                queue_watermark: 8 * workers,
+                shed_start: 3.0,
+                shed_full: 6.0,
+                ..AdmissionConfig::default()
+            },
+            cap: CapConfig::default(),
+            policy: DispatchPolicy::SignificanceAware,
+            node_model,
+            curve: UtilizationPowerCurve::linear(node_model),
+            sleep: None,
+            transition_cost: TransitionCost::free(),
+        }
+    }
+}
+
+enum EventKind {
+    Arrival {
+        class: usize,
+    },
+    Finish {
+        node: usize,
+        worker: usize,
+        epoch: u64,
+        request: usize,
+        busy_nanos: u64,
+        panicked: bool,
+    },
+    Retry {
+        request: usize,
+    },
+    Tick,
+    Fault {
+        node: usize,
+        kind: NodeFaultKind,
+    },
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: earliest event first, ties by push order — deterministic.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct ClusterRequest {
+    class: usize,
+    arrival: u64,
+    deadline: u64,
+    tier: usize,
+    /// Fleet-forced ladder floor; retries never rise above it.
+    min_tier: usize,
+    downgraded: bool,
+    attempts: u32,
+    terminal: bool,
+}
+
+/// Per-phase mutable state, kept off `ClusterSim` so the borrow checker
+/// lets event handlers touch nodes and phase books independently.
+struct Phase {
+    requests: Vec<ClusterRequest>,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    /// The cluster's own book: all `offered`, plus ingress sheds.
+    cluster_book: ServingStats,
+    lost_to_crash: u64,
+    lost_by_class: Vec<u64>,
+    outstanding: usize,
+    arrivals_remaining: usize,
+    max_shed_significance: f64,
+    accurate_scaled: u64,
+}
+
+impl Phase {
+    fn push(&mut self, at: u64, kind: EventKind) {
+        self.heap.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
+        self.seq += 1;
+    }
+}
+
+/// The multi-node discrete-event simulator (see module docs). Successive
+/// [`ClusterSim::run`] calls share node, controller, and energy state: a
+/// pre-storm / storm / post-storm sequence is three calls on one simulator.
+pub struct ClusterSim {
+    config: ClusterConfig,
+    classes: Vec<RequestClass>,
+    nodes: Vec<Node>,
+    dispatcher: ClusterDispatcher,
+    cap: PowerCapController,
+    rng: SplitMix64,
+    now: u64,
+    route_buf: Vec<RouteCandidate>,
+    // Exact piecewise-constant power integration (cumulative).
+    fleet_watts: f64,
+    last_power_at: u64,
+    power_integral_joules: f64,
+    violation_joules: f64,
+    // Phase watermarks for the cumulative ledgers.
+    consumed_env_joules: f64,
+    consumed_power_integral: f64,
+    consumed_violation: f64,
+}
+
+impl ClusterSim {
+    /// A simulator whose nodes all run a [`NominalGovernor`] inside their
+    /// frequency-cap wrapper (all energy differentiation comes from routing
+    /// and the cap controller).
+    pub fn new(config: ClusterConfig, classes: Vec<RequestClass>) -> Self {
+        Self::with_governors(config, classes, |_| Arc::new(NominalGovernor))
+    }
+
+    /// A simulator with a per-node inner governor chosen by `factory`
+    /// (called with each node index) — how the cluster conformance harness
+    /// puts every existing governor inside a node.
+    pub fn with_governors(
+        config: ClusterConfig,
+        classes: Vec<RequestClass>,
+        factory: impl Fn(usize) -> Arc<dyn Governor>,
+    ) -> Self {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        assert!(config.workers_per_node > 0);
+        assert!(config.base_service_nanos > 0);
+        for class in &classes {
+            class.validate();
+        }
+        let nodes: Vec<Node> = (0..config.nodes)
+            .map(|index| {
+                Node::new(
+                    index,
+                    config.workers_per_node,
+                    config.admission,
+                    config.curve,
+                    config.node_model,
+                    factory(index),
+                    config.sleep,
+                    config.transition_cost,
+                )
+            })
+            .collect();
+        let fleet_watts = nodes.iter().map(|n| n.watts()).sum();
+        let mut sim = ClusterSim {
+            dispatcher: ClusterDispatcher::new(config.policy),
+            cap: PowerCapController::new(config.cap),
+            rng: SplitMix64::new(config.seed ^ 0xc105_7e2d_15b4_7c11),
+            classes,
+            nodes,
+            config,
+            now: 0,
+            route_buf: Vec::new(),
+            fleet_watts,
+            last_power_at: 0,
+            power_integral_joules: 0.0,
+            violation_joules: 0.0,
+            consumed_env_joules: 0.0,
+            consumed_power_integral: 0.0,
+            consumed_violation: 0.0,
+        };
+        sim.cap.retarget(&mut sim.nodes);
+        sim
+    }
+
+    /// The fleet (read-only; for tests and benches).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The power-cap controller's live state.
+    pub fn cap_controller(&self) -> &PowerCapController {
+        &self.cap
+    }
+
+    /// Virtual now, nanoseconds since simulator construction.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Service time of one attempt of `class` at `tier`, before frequency
+    /// dilation.
+    fn service_nanos(&self, class: usize, tier: usize) -> u64 {
+        let spec = &self.classes[class];
+        let quality = spec.tiers[spec.clamp_tier(tier)];
+        ((self.config.base_service_nanos as f64 * quality.work_factor) as u64).max(1)
+    }
+
+    /// Advance the exact power integrals to virtual time `at`.
+    fn advance_power(&mut self, at: u64) {
+        let now = self.now.max(at);
+        if now > self.last_power_at {
+            let dt = (now - self.last_power_at) as f64 * 1e-9;
+            self.power_integral_joules += self.fleet_watts * dt;
+            let over = self.fleet_watts - self.cap.config().cap_watts;
+            if over > 0.0 {
+                self.violation_joules += over * dt;
+            }
+            self.last_power_at = now;
+        }
+        self.now = now;
+    }
+
+    /// Refresh node `n`'s cached watts and the fleet total after its busy
+    /// set (or up state) changed. Call **after** `advance_power`.
+    fn refresh_watts(&mut self, n: usize) {
+        let watts = self.nodes[n].watts();
+        self.fleet_watts += watts - self.nodes[n].cached_watts;
+        self.nodes[n].cached_watts = watts;
+    }
+
+    /// Run one phase: `schedule` pairs `(arrival offset from phase start,
+    /// class index)` ascending, `faults` node up/down events at phase
+    /// offsets. Returns when every offered request of the phase is terminal.
+    /// Node, controller, and energy state carry over to the next phase.
+    pub fn run(&mut self, schedule: &[(u64, usize)], faults: &[NodeFault]) -> ClusterPhaseReport {
+        let phase_start = self.now;
+        for node in &mut self.nodes {
+            node.book = ServingStats::default();
+        }
+        let mut phase = Phase {
+            requests: Vec::with_capacity(schedule.len()),
+            heap: BinaryHeap::with_capacity(schedule.len() * 2 + faults.len() + 16),
+            seq: 0,
+            cluster_book: ServingStats::default(),
+            lost_to_crash: 0,
+            lost_by_class: vec![0; self.classes.len()],
+            outstanding: 0,
+            arrivals_remaining: schedule.len(),
+            max_shed_significance: -1.0,
+            accurate_scaled: 0,
+        };
+        for &(offset, class) in schedule {
+            phase.push(
+                phase_start.saturating_add(offset),
+                EventKind::Arrival { class },
+            );
+        }
+        for fault in faults {
+            phase.push(
+                phase_start.saturating_add(fault.at_offset),
+                EventKind::Fault {
+                    node: fault.node,
+                    kind: fault.kind,
+                },
+            );
+        }
+        let tick = self.cap.config().tick_nanos;
+        phase.push(phase_start.saturating_add(tick), EventKind::Tick);
+        self.cap.retarget(&mut self.nodes);
+
+        while let Some(event) = phase.heap.pop() {
+            self.advance_power(event.at);
+            let at = self.now;
+            match event.kind {
+                EventKind::Arrival { class } => {
+                    phase.arrivals_remaining -= 1;
+                    phase.cluster_book.offered += 1;
+                    phase.cluster_book.note_offered_class(class);
+                    self.admit_and_route(&mut phase, None, class, at);
+                }
+                EventKind::Finish {
+                    node,
+                    worker,
+                    epoch,
+                    request,
+                    busy_nanos,
+                    panicked,
+                } => {
+                    if self.nodes[node].epoch != epoch || phase.requests[request].terminal {
+                        // Stale: the node crashed under this attempt and the
+                        // crash handler already ledgered the request and
+                        // reset the workers.
+                        continue;
+                    }
+                    self.nodes[node].finish_worker(worker);
+                    self.refresh_watts(node);
+                    if panicked {
+                        self.resolve_transient(&mut phase, node, request, at);
+                    } else {
+                        let req = &phase.requests[request];
+                        let latency = at.saturating_sub(req.arrival);
+                        let missed = at > req.deadline;
+                        let (tier, retries) = (req.tier, req.attempts.saturating_sub(1));
+                        self.nodes[node].admission.observe(busy_nanos, missed);
+                        let outcome = if missed {
+                            RequestOutcome::Violated(ViolationKind::Late)
+                        } else {
+                            RequestOutcome::Completed {
+                                tier,
+                                latency_nanos: latency,
+                                retries,
+                            }
+                        };
+                        Self::finalize_on_node(&mut self.nodes[node], &mut phase, request, outcome);
+                    }
+                    self.start_attempts(&mut phase, node);
+                }
+                EventKind::Retry { request } => {
+                    if phase.requests[request].terminal {
+                        continue;
+                    }
+                    let class = phase.requests[request].class;
+                    self.admit_and_route(&mut phase, Some(request), class, at);
+                }
+                EventKind::Tick => {
+                    self.cap.observe(&self.nodes);
+                    self.cap.retarget(&mut self.nodes);
+                    self.expire_queued(&mut phase, at);
+                    for n in 0..self.nodes.len() {
+                        let depth = self.nodes[n].depth() as f64;
+                        let node = &mut self.nodes[n];
+                        node.load_ewma += LOAD_EWMA_ALPHA * (depth - node.load_ewma);
+                        if node.is_up() {
+                            self.start_attempts(&mut phase, n);
+                        }
+                    }
+                    if phase.outstanding > 0 || phase.arrivals_remaining > 0 {
+                        phase.push(at.saturating_add(tick), EventKind::Tick);
+                    }
+                }
+                EventKind::Fault { node, kind } => match kind {
+                    NodeFaultKind::Down => {
+                        if self.nodes[node].is_up() {
+                            let lost = self.nodes[node].crash(at);
+                            self.refresh_watts(node);
+                            for request in lost {
+                                let req = &mut phase.requests[request];
+                                debug_assert!(!req.terminal);
+                                req.terminal = true;
+                                phase.lost_to_crash += 1;
+                                phase.lost_by_class[req.class] += 1;
+                                phase.outstanding -= 1;
+                            }
+                            self.cap.retarget(&mut self.nodes);
+                        }
+                    }
+                    NodeFaultKind::Up => {
+                        if !self.nodes[node].is_up() {
+                            self.nodes[node].restart(at);
+                            self.refresh_watts(node);
+                            self.cap.retarget(&mut self.nodes);
+                        }
+                    }
+                },
+            }
+        }
+
+        let wall_nanos = self.now - phase_start;
+        let total_env_joules: f64 = self
+            .nodes
+            .iter()
+            .map(|node| node.energy_report(self.now).reading().joules)
+            .sum();
+        let joules = total_env_joules - self.consumed_env_joules;
+        self.consumed_env_joules = total_env_joules;
+        let power_integral_joules = self.power_integral_joules - self.consumed_power_integral;
+        self.consumed_power_integral = self.power_integral_joules;
+        let violation_joules = self.violation_joules - self.consumed_violation;
+        self.consumed_violation = self.violation_joules;
+
+        let mut stats = phase.cluster_book;
+        for node in &self.nodes {
+            stats.merge(&node.book);
+        }
+        ClusterPhaseReport {
+            stats,
+            lost_to_crash: phase.lost_to_crash,
+            lost_by_class: phase.lost_by_class,
+            joules,
+            power_integral_joules,
+            violation_joules,
+            wall_nanos,
+            max_shed_significance: phase.max_shed_significance,
+            accurate_scaled: phase.accurate_scaled,
+        }
+    }
+
+    /// Cluster-admit and route one request — a fresh arrival
+    /// (`existing == None`) or a retrying one.
+    fn admit_and_route(
+        &mut self,
+        phase: &mut Phase,
+        existing: Option<usize>,
+        class: usize,
+        at: u64,
+    ) {
+        let significance = self.classes[class].significance();
+        let ladder = self.classes[class].tiers.len();
+        let min_tier = match self.cap.admit(significance, ladder) {
+            ClusterAdmission::Shed => {
+                phase.cluster_book.record(&RequestOutcome::Shed);
+                phase.cluster_book.note_shed_class(class);
+                phase.max_shed_significance = phase.max_shed_significance.max(significance);
+                if let Some(request) = existing {
+                    let req = &mut phase.requests[request];
+                    if req.downgraded {
+                        phase.cluster_book.downgraded += 1;
+                    }
+                    req.terminal = true;
+                    phase.outstanding -= 1;
+                }
+                return;
+            }
+            ClusterAdmission::Admit { min_tier } => min_tier,
+        };
+        self.route_buf.clear();
+        for node in &self.nodes {
+            self.route_buf.push(RouteCandidate {
+                index: node.index(),
+                up: node.is_up(),
+                depth: node.depth(),
+                load_ewma: node.load_ewma,
+                allowed: node.allowed(),
+                freq_cap: node.freq_cap(),
+            });
+        }
+        let Some(n) = self.dispatcher.route(&self.route_buf, significance) else {
+            // No node is up: the request is lost to the outage, not shed —
+            // shedding is a *decision*, this is an accounted loss.
+            if let Some(request) = existing {
+                let req = &mut phase.requests[request];
+                req.terminal = true;
+                phase.outstanding -= 1;
+            }
+            phase.lost_to_crash += 1;
+            phase.lost_by_class[class] += 1;
+            return;
+        };
+        debug_assert!(self.nodes[n].is_up(), "routed to a down node");
+        let spec = &self.classes[class];
+        let depth = self.nodes[n].depth();
+        match self.nodes[n].admission.decide(spec, depth) {
+            AdmissionDecision::Shed => {
+                self.nodes[n].book.record(&RequestOutcome::Shed);
+                self.nodes[n].book.note_shed_class(class);
+                phase.max_shed_significance = phase.max_shed_significance.max(significance);
+                if let Some(request) = existing {
+                    let req = &mut phase.requests[request];
+                    if req.downgraded {
+                        self.nodes[n].book.downgraded += 1;
+                    }
+                    req.terminal = true;
+                    phase.outstanding -= 1;
+                }
+            }
+            AdmissionDecision::Admit { tier } => {
+                let request = match existing {
+                    Some(request) => {
+                        let floor = phase.requests[request].tier.max(min_tier);
+                        let req = &mut phase.requests[request];
+                        req.min_tier = req.min_tier.max(min_tier);
+                        req.tier = spec.clamp_tier(tier.max(floor));
+                        req.downgraded |= req.tier > 0;
+                        request
+                    }
+                    None => {
+                        let tier = spec.clamp_tier(tier.max(min_tier));
+                        phase.requests.push(ClusterRequest {
+                            class,
+                            arrival: at,
+                            deadline: at.saturating_add(spec.deadline.as_nanos() as u64),
+                            tier,
+                            min_tier,
+                            downgraded: tier > 0,
+                            attempts: 0,
+                            terminal: false,
+                        });
+                        phase.outstanding += 1;
+                        phase.requests.len() - 1
+                    }
+                };
+                self.nodes[n].ready.push_back(request);
+                self.start_attempts(phase, n);
+            }
+        }
+    }
+
+    /// Start attempts on node `n` while it has ready work, free workers,
+    /// and busy-slot budget.
+    fn start_attempts(&mut self, phase: &mut Phase, n: usize) {
+        let at = self.now;
+        let mut busy_set_changed = false;
+        while self.nodes[n].is_up()
+            && self.nodes[n].busy_count() < self.nodes[n].allowed()
+            && !self.nodes[n].ready.is_empty()
+        {
+            let request = self.nodes[n].ready.pop_front().unwrap();
+            let worker = self.nodes[n].free_workers.pop().unwrap();
+            let req = &mut phase.requests[request];
+            req.attempts += 1;
+            let spec = &self.classes[req.class];
+            let tier = spec.clamp_tier(req.tier);
+            let quality = spec.tiers[tier];
+            let service =
+                ((self.config.base_service_nanos as f64 * quality.work_factor) as u64).max(1);
+            let accurate = tier == 0;
+            let ctx = DispatchContext {
+                worker,
+                significance: quality.significance.into(),
+                accurate,
+                policy: Policy::SignificanceAgnostic,
+                group_ratio: 1.0,
+                deadline_pressure: at.saturating_add(service) > req.deadline,
+            };
+            let decision = self.nodes[n].env().dispatch(worker, &ctx);
+            if accurate && !decision.scale().is_nominal() {
+                phase.accurate_scaled += 1;
+            }
+            let panicked = self.config.panic_per_mille > 0
+                && self.rng.next_u64() % 1000 < u64::from(self.config.panic_per_mille);
+            // A faulted attempt burns half its service time before dying.
+            let busy = if panicked {
+                (service / 2).max(1)
+            } else {
+                service
+            };
+            let wall = (busy as f64 * decision.scale().time_dilation()) as u64;
+            let mode = if accurate {
+                ExecutionMode::Accurate
+            } else {
+                ExecutionMode::Approximate
+            };
+            self.nodes[n]
+                .env()
+                .record(worker, mode, Duration::from_nanos(busy), decision);
+            self.nodes[n].recorded_busy_nanos += busy;
+            self.nodes[n].start_worker(
+                worker,
+                RunningAttempt {
+                    request,
+                    power_factor: decision.scale().power_factor(),
+                },
+            );
+            busy_set_changed = true;
+            phase.push(
+                at.saturating_add(wall.max(1)),
+                EventKind::Finish {
+                    node: n,
+                    worker,
+                    epoch: self.nodes[n].epoch,
+                    request,
+                    busy_nanos: busy,
+                    panicked,
+                },
+            );
+        }
+        if busy_set_changed {
+            self.refresh_watts(n);
+        }
+    }
+
+    /// Expire queued requests whose deadline has already passed (finalised
+    /// as `Late` on the holding node's book). Runs on every control tick:
+    /// this is the liveness backstop that keeps a phase terminating even
+    /// when an infeasible cap pins a node's busy-slot budget at zero — the
+    /// queue drains through the deadline sweep instead of never.
+    fn expire_queued(&mut self, phase: &mut Phase, at: u64) {
+        for n in 0..self.nodes.len() {
+            if self.nodes[n].ready.is_empty() {
+                continue;
+            }
+            let expired: Vec<usize> = self.nodes[n]
+                .ready
+                .iter()
+                .copied()
+                .filter(|&request| phase.requests[request].deadline <= at)
+                .collect();
+            if expired.is_empty() {
+                continue;
+            }
+            let requests = &phase.requests;
+            self.nodes[n]
+                .ready
+                .retain(|&request| requests[request].deadline > at);
+            for request in expired {
+                Self::finalize_on_node(
+                    &mut self.nodes[n],
+                    phase,
+                    request,
+                    RequestOutcome::Violated(ViolationKind::Late),
+                );
+            }
+        }
+    }
+
+    /// A transient (panicked) attempt on node `n`: back off and retry
+    /// within the deadline budget — possibly on another node — or finalise
+    /// as an accounted violation.
+    fn resolve_transient(&mut self, phase: &mut Phase, n: usize, request: usize, at: u64) {
+        let (class, tier, attempts) = {
+            let req = &phase.requests[request];
+            (req.class, req.tier, req.attempts)
+        };
+        let spec = &self.classes[class];
+        if attempts > spec.retry.max_retries {
+            let service = self.service_nanos(class, tier);
+            self.nodes[n].admission.observe(service, true);
+            Self::finalize_on_node(
+                &mut self.nodes[n],
+                phase,
+                request,
+                RequestOutcome::Violated(ViolationKind::RetriesExhausted),
+            );
+            return;
+        }
+        let backoff = spec.retry.backoff_nanos(attempts, &mut self.rng);
+        let expected = self.nodes[n]
+            .admission
+            .expected_service_nanos()
+            .max(self.service_nanos(class, tier));
+        let resume = at.saturating_add(backoff);
+        if resume.saturating_add(expected) > phase.requests[request].deadline {
+            self.nodes[n].admission.observe(expected, true);
+            Self::finalize_on_node(
+                &mut self.nodes[n],
+                phase,
+                request,
+                RequestOutcome::Violated(ViolationKind::BudgetExhausted),
+            );
+            return;
+        }
+        // The retry re-enters *cluster* dispatch at resume time: it may be
+        // re-routed to a healthier node (the request is "at the client"
+        // while backing off — a node crash does not lose it).
+        phase.push(resume, EventKind::Retry { request });
+    }
+
+    /// Record a terminal outcome on `node`'s book and close the request.
+    fn finalize_on_node(
+        node: &mut Node,
+        phase: &mut Phase,
+        request: usize,
+        outcome: RequestOutcome,
+    ) {
+        node.book.record(&outcome);
+        let req = &mut phase.requests[request];
+        if req.downgraded {
+            node.book.downgraded += 1;
+        }
+        req.terminal = true;
+        phase.outstanding -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::crash_storm;
+    use sig_serving::{QualityTier, RetryPolicy};
+
+    fn ladder_class(name: &str, significance: f64) -> RequestClass {
+        RequestClass {
+            name: name.into(),
+            tiers: vec![
+                QualityTier {
+                    significance,
+                    work_factor: 1.0,
+                },
+                QualityTier {
+                    significance: significance * 0.6,
+                    work_factor: 0.5,
+                },
+                QualityTier {
+                    significance: significance * 0.3,
+                    work_factor: 0.25,
+                },
+            ],
+            deadline: Duration::from_millis(20),
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_micros(100),
+                jitter: 0.5,
+            },
+        }
+    }
+
+    fn classes() -> Vec<RequestClass> {
+        vec![
+            RequestClass::exact(
+                "critical",
+                1.0,
+                Duration::from_millis(20),
+                RetryPolicy {
+                    max_retries: 2,
+                    base_backoff: Duration::from_micros(100),
+                    jitter: 0.5,
+                },
+            ),
+            ladder_class("standard", 0.7),
+            ladder_class("background", 0.3),
+        ]
+    }
+
+    /// `count` arrivals at a fixed spacing, round-robined over the classes.
+    fn schedule(count: usize, spacing: u64, classes: usize) -> Vec<(u64, usize)> {
+        (0..count)
+            .map(|i| (i as u64 * spacing, i % classes))
+            .collect()
+    }
+
+    #[test]
+    fn light_load_completes_everything() {
+        let config = ClusterConfig::default();
+        let mut sim = ClusterSim::new(config, classes());
+        // 4 nodes × 2 workers at 1 ms service: 8 req/ms capacity; offer
+        // one request every 250 µs — far below capacity.
+        let report = sim.run(&schedule(200, 250_000, 3), &[]);
+        assert!(report.balanced(), "fleet identity must hold");
+        assert_eq!(report.stats.offered, 200);
+        assert_eq!(report.stats.completed, 200);
+        assert_eq!(report.stats.shed, 0);
+        assert_eq!(report.lost_to_crash, 0);
+        assert_eq!(report.violation_joules, 0.0, "uncapped: no violation");
+        assert!(report.joules > 0.0, "real environments price real energy");
+        assert!(report.power_integral_joules > 0.0);
+        assert_eq!(report.accurate_scaled, 0);
+    }
+
+    #[test]
+    fn tight_cap_holds_and_sheds_monotonically() {
+        let mut config = ClusterConfig::default();
+        // Fleet idle floor 4 × 3.0 W = 12 W; full draw 4 × 15.2 W = 60.8 W.
+        // 25 W affords the floor plus two busy slots (6.1 W marginal each).
+        config.cap.cap_watts = 25.0;
+        let mut sim = ClusterSim::new(config, classes());
+        // Overload: 2 granted slots serve ~2 req/ms; offer 5/ms.
+        let report = sim.run(&schedule(2_000, 200_000, 3), &[]);
+        assert!(report.balanced());
+        assert_eq!(
+            report.violation_joules, 0.0,
+            "a feasible cap must hold at every instant"
+        );
+        assert!(
+            report.average_watts() <= 25.0,
+            "mean draw {} exceeds the cap",
+            report.average_watts()
+        );
+        assert!(
+            report.max_shed_significance < 1.0,
+            "critical work is never shed"
+        );
+        // Overload at 2.5× granted capacity must shed or violate something.
+        assert!(report.stats.completed < report.stats.offered);
+        // Shedding is a significance-axis prefix: background sheds at least
+        // as hard as standard, standard at least as hard as critical.
+        let shed = |class: usize| report.stats.shed_fraction(class);
+        assert!(shed(2) >= shed(1));
+        assert!(shed(1) >= shed(0));
+        assert_eq!(
+            report.stats.shed_by_class[0], 0,
+            "significance-1.0 requests are never shed"
+        );
+    }
+
+    #[test]
+    fn crash_storm_loses_work_but_books_balance() {
+        let config = ClusterConfig {
+            nodes: 6,
+            panic_per_mille: 50,
+            ..ClusterConfig::default()
+        };
+        let mut sim = ClusterSim::new(config, classes());
+        let faults = crash_storm(9, 6, 0.3, 5_000_000, 30_000_000);
+        let report = sim.run(&schedule(1_000, 100_000, 3), &faults);
+        assert!(report.balanced(), "losses must be ledgered, not leaked");
+        assert!(report.lost_to_crash > 0, "a storm at 2× load loses work");
+        assert_eq!(
+            report.lost_by_class.iter().sum::<u64>(),
+            report.lost_to_crash
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_bit_identically() {
+        let run = || {
+            let mut config = ClusterConfig {
+                panic_per_mille: 20,
+                ..ClusterConfig::default()
+            };
+            config.cap.cap_watts = 25.0;
+            let mut sim = ClusterSim::new(config, classes());
+            let faults = crash_storm(3, 4, 0.3, 2_000_000, 10_000_000);
+            sim.run(&schedule(500, 150_000, 3), &faults).fingerprint()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn phases_carry_energy_and_clock_forward() {
+        let mut sim = ClusterSim::new(ClusterConfig::default(), classes());
+        let first = sim.run(&schedule(50, 250_000, 3), &[]);
+        let clock = sim.now();
+        let second = sim.run(&schedule(50, 250_000, 3), &[]);
+        assert!(sim.now() > clock, "virtual time is monotone across phases");
+        assert!(first.joules > 0.0 && second.joules > 0.0);
+        assert!(first.balanced() && second.balanced());
+        assert_eq!(second.stats.completed, 50, "phase books reset");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests on the cluster's three load-bearing invariants:
+//!
+//! 1. the dispatcher never routes to a crashed node, under either policy,
+//!    for arbitrary fleet snapshots;
+//! 2. a feasible global watt cap is never violated — the modelled power
+//!    integral stays within `cap × span × (1 + ε)` under arbitrary bursts,
+//!    with the instantaneous violation integral at (floating-point) zero;
+//! 3. the fleet shed set is a significance-axis prefix: sheds concentrate
+//!    on the least significant classes and never touch significance 1.0.
+
+// The vendored proptest shim expands token-by-token; several property
+// blocks with doc comments exceed the default recursion limit.
+#![recursion_limit = "1024"]
+
+mod common;
+
+use proptest::prelude::*;
+
+use sig_cluster::{ClusterConfig, ClusterDispatcher, ClusterSim, DispatchPolicy, RouteCandidate};
+
+/// Decode one arbitrary `u64` into a route candidate: the low bit is
+/// up/down, the rest spread over depth, budget, smoothed load, and
+/// frequency cap.
+fn decode_candidate(index: usize, raw: u64) -> RouteCandidate {
+    RouteCandidate {
+        index,
+        up: raw & 1 == 1,
+        depth: ((raw >> 1) % 40) as usize,
+        load_ewma: ((raw >> 16) % 1_000) as f64 / 25.0,
+        allowed: ((raw >> 8) % 4) as usize,
+        freq_cap: 0.25 + ((raw >> 24) % 76) as f64 / 100.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Neither policy ever returns a down node, and `None` only when the
+    /// whole fleet is down — for arbitrary fleets, loads, power states,
+    /// and significances, across repeated routes (the round-robin cursor
+    /// walks).
+    #[test]
+    fn dispatcher_never_routes_to_a_crashed_node(
+        raws in proptest::collection::vec(0u64..u64::MAX, 1..12),
+        significance in 0.0f64..=1.0,
+        policy_bit in 0u64..2,
+    ) {
+        let policy = if policy_bit == 0 {
+            DispatchPolicy::SignificanceAware
+        } else {
+            DispatchPolicy::RoundRobin
+        };
+        let fleet: Vec<RouteCandidate> = raws
+            .iter()
+            .enumerate()
+            .map(|(index, &raw)| decode_candidate(index, raw))
+            .collect();
+        let any_up = fleet.iter().any(|c| c.up);
+        let mut dispatcher = ClusterDispatcher::new(policy);
+        for _ in 0..fleet.len() + 2 {
+            match dispatcher.route(&fleet, significance) {
+                Some(index) => {
+                    prop_assert!(index < fleet.len());
+                    prop_assert!(
+                        fleet[index].up,
+                        "{policy:?} routed to down node {index}"
+                    );
+                }
+                None => prop_assert!(!any_up, "{policy:?} refused an up fleet"),
+            }
+        }
+    }
+
+    /// A feasible cap (at or above the fleet idle floor) holds under
+    /// arbitrary bursts: the instantaneous violation integral stays at
+    /// floating-point zero and the power integral within `cap × span`.
+    #[test]
+    fn feasible_cap_bounds_the_power_integral(
+        nodes in 1usize..5,
+        headroom in 0.0f64..26.0,
+        count in 50usize..250,
+        spacing in 5_000u64..150_000,
+        panic_per_mille_raw in 0u64..100,
+        seed in 0u64..1_000,
+    ) {
+        let mut config = ClusterConfig {
+            nodes,
+            seed,
+            panic_per_mille: panic_per_mille_raw as u16,
+            ..ClusterConfig::default()
+        };
+        // Default node: idle floor 3 W, marginal slot 6.1 W. `headroom`
+        // sweeps from "liveness only" to "whole fleet busy".
+        let floor = nodes as f64 * 3.0;
+        config.cap.cap_watts = floor + headroom;
+        let mut sim = ClusterSim::new(config, common::classes());
+        let report = sim.run(&common::uniform_schedule(count, spacing), &[]);
+        prop_assert!(report.balanced());
+        let span_seconds = report.wall_nanos as f64 * 1e-9;
+        let budget = (floor + headroom) * span_seconds;
+        prop_assert!(
+            report.violation_joules <= budget * 1e-9,
+            "violation integral {} J above zero (cap {} W)",
+            report.violation_joules,
+            floor + headroom
+        );
+        prop_assert!(
+            report.power_integral_joules <= budget * (1.0 + 1e-9),
+            "power integral {} J exceeds cap budget {} J",
+            report.power_integral_joules,
+            budget
+        );
+    }
+
+    /// Under arbitrary overload the fleet shed set stays a prefix of the
+    /// significance axis: significance 1.0 is never shed, the recorded shed
+    /// cutoff stays below 1.0, and shed fractions are monotone down the
+    /// class ladder.
+    #[test]
+    fn fleet_shed_set_is_a_significance_prefix(
+        seed in 0u64..1_000,
+        spacing in 20_000u64..80_000,
+        headroom in 6.0f64..30.0,
+    ) {
+        let mut config = ClusterConfig {
+            seed,
+            ..ClusterConfig::default()
+        };
+        // 4-node fleet, capped well below full draw, offered 2–8× the
+        // granted capacity: something must shed.
+        config.cap.cap_watts = 12.0 + headroom;
+        let mut sim = ClusterSim::new(config, common::classes());
+        let report = sim.run(&common::uniform_schedule(900, spacing), &[]);
+        prop_assert!(report.balanced());
+        prop_assert!(
+            report.max_shed_significance < 1.0,
+            "shed cutoff reached significance 1.0"
+        );
+        let critical_shed = report
+            .stats
+            .shed_by_class
+            .get(common::CRITICAL)
+            .copied()
+            .unwrap_or(0);
+        prop_assert_eq!(critical_shed, 0, "a critical request was shed");
+        let shed = |class: usize| report.stats.shed_fraction(class);
+        // Prefix property, cumulative over the run: lower significance
+        // always sheds at least as hard (tiny tolerance for classes whose
+        // arrivals straddle a cutoff transition).
+        prop_assert!(
+            shed(common::BACKGROUND) + 0.02 >= shed(common::STANDARD),
+            "background shed {} below standard shed {}",
+            shed(common::BACKGROUND),
+            shed(common::STANDARD)
+        );
+        prop_assert!(
+            shed(common::STANDARD) + 0.02 >= shed(common::CRITICAL),
+            "standard shed {} below critical shed {}",
+            shed(common::STANDARD),
+            shed(common::CRITICAL)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared fixtures for the cluster test battery.
+
+// Each test binary compiles this module independently and uses a different
+// subset of it.
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use sig_serving::{QualityTier, RequestClass, RetryPolicy};
+
+/// The standard three-class serving mix: critical (significance 1.0,
+/// single-tier), standard (0.7, 3-rung ladder), background (0.3, 3-rung
+/// ladder) — the same shape the serving bench exercises.
+pub fn classes() -> Vec<RequestClass> {
+    vec![
+        RequestClass::exact("critical", 1.0, Duration::from_millis(20), retry()),
+        ladder_class("standard", 0.7),
+        ladder_class("background", 0.3),
+    ]
+}
+
+/// Index of the critical class in [`classes`].
+pub const CRITICAL: usize = 0;
+/// Index of the standard class in [`classes`].
+pub const STANDARD: usize = 1;
+/// Index of the background class in [`classes`].
+pub const BACKGROUND: usize = 2;
+
+fn retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_micros(100),
+        jitter: 0.5,
+    }
+}
+
+fn ladder_class(name: &str, significance: f64) -> RequestClass {
+    RequestClass {
+        name: name.into(),
+        tiers: vec![
+            QualityTier {
+                significance,
+                work_factor: 1.0,
+            },
+            QualityTier {
+                significance: significance * 0.6,
+                work_factor: 0.5,
+            },
+            QualityTier {
+                significance: significance * 0.3,
+                work_factor: 0.25,
+            },
+        ],
+        deadline: Duration::from_millis(20),
+        retry: retry(),
+    }
+}
+
+/// `count` arrivals spaced `spacing` nanoseconds apart, round-robined over
+/// the class mix (3 classes).
+pub fn uniform_schedule(count: usize, spacing: u64) -> Vec<(u64, usize)> {
+    (0..count).map(|i| (i as u64 * spacing, i % 3)).collect()
+}

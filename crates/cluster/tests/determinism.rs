@@ -1,0 +1,82 @@
+//! Determinism replay battery: a cluster run is a pure function of
+//! `(config, classes, schedule, faults, seed)`.
+//!
+//! Every assertion here compares [`ClusterPhaseReport::fingerprint`]s —
+//! one-line summaries that render each float as its exact IEEE-754 bit
+//! pattern, so two runs agree **iff** they are bit-identical: same event
+//! order, same retry jitter, same power integrals, same quantiles.
+
+mod common;
+
+use sig_cluster::{crash_storm, ClusterConfig, ClusterPhaseReport, ClusterSim, DispatchPolicy};
+
+/// One full three-phase run (warm, storm with crashes + panics under a tight
+/// cap, recovery), fingerprinted phase-by-phase.
+fn full_run(seed: u64, nodes: usize, policy: DispatchPolicy) -> String {
+    let mut config = ClusterConfig {
+        nodes,
+        seed,
+        policy,
+        panic_per_mille: 30,
+        ..ClusterConfig::default()
+    };
+    // Idle floor is 3 W per node; leave room for roughly half the fleet's
+    // busy slots so the cap controller actually bites.
+    config.cap.cap_watts = nodes as f64 * 3.0 + (nodes as f64) * 6.1;
+    let mut sim = ClusterSim::new(config, common::classes());
+    let storm = crash_storm(seed, nodes, 0.3, 2_000_000, 20_000_000);
+    let phases: Vec<ClusterPhaseReport> = vec![
+        sim.run(&common::uniform_schedule(300, 100_000), &[]),
+        sim.run(&common::uniform_schedule(600, 50_000), &storm),
+        sim.run(&common::uniform_schedule(300, 100_000), &[]),
+    ];
+    for (i, phase) in phases.iter().enumerate() {
+        assert!(phase.balanced(), "phase {i} books must balance");
+    }
+    phases
+        .iter()
+        .map(ClusterPhaseReport::fingerprint)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn same_seed_is_byte_identical_small_fleet() {
+    let a = full_run(11, 6, DispatchPolicy::SignificanceAware);
+    let b = full_run(11, 6, DispatchPolicy::SignificanceAware);
+    assert_eq!(a, b, "two runs of the same seed must be byte-identical");
+}
+
+#[test]
+fn same_seed_is_byte_identical_large_fleet() {
+    let a = full_run(23, 24, DispatchPolicy::SignificanceAware);
+    let b = full_run(23, 24, DispatchPolicy::SignificanceAware);
+    assert_eq!(a, b, "determinism must not degrade with fleet size");
+}
+
+#[test]
+fn same_seed_is_byte_identical_round_robin() {
+    let a = full_run(7, 8, DispatchPolicy::RoundRobin);
+    let b = full_run(7, 8, DispatchPolicy::RoundRobin);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Panics and storm membership are seeded; two seeds must not collide on
+    // a fingerprint that includes exact joule bit patterns.
+    let a = full_run(1, 6, DispatchPolicy::SignificanceAware);
+    let b = full_run(2, 6, DispatchPolicy::SignificanceAware);
+    assert_ne!(a, b, "distinct seeds should produce distinct histories");
+}
+
+#[test]
+fn smoke_scale_replays_identically() {
+    // The CI smoke configuration: tiny fleets, short schedules — the gate
+    // that runs on every push must itself be replay-stable.
+    for nodes in [4, 12] {
+        let a = full_run(42, nodes, DispatchPolicy::SignificanceAware);
+        let b = full_run(42, nodes, DispatchPolicy::SignificanceAware);
+        assert_eq!(a, b, "smoke fleet of {nodes} nodes must replay");
+    }
+}

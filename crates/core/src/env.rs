@@ -156,6 +156,25 @@ impl DispatchDecision {
             None => 0.0,
         }
     }
+
+    /// Clamp the decision so it never *executes* above `cap`.
+    ///
+    /// A stretch at or below the cap is unchanged. A stretch above it is
+    /// pulled down to the cap. A race-to-idle decision executes at nominal
+    /// by construction, which a cap below nominal forbids — it falls back to
+    /// slow-and-steady at its reference rung (itself clamped), the schedule
+    /// the race was banking slack against.
+    pub fn clamp_to(&self, cap: FrequencyScale) -> DispatchDecision {
+        if self.scale.ratio() <= cap.ratio() {
+            return *self;
+        }
+        match self.race_reference {
+            Some(reference) if reference.ratio() <= cap.ratio() => {
+                DispatchDecision::stretch(reference)
+            }
+            _ => DispatchDecision::stretch(cap),
+        }
+    }
 }
 
 /// Maps a task's significance/policy decision to an energy strategy at
@@ -604,6 +623,119 @@ impl Governor for AdaptiveGovernor {
     }
 }
 
+/// A governor wrapper enforcing an externally re-targetable frequency cap —
+/// the per-node dispatch hook a cluster-level power-cap controller drives.
+///
+/// The wrapped governor makes its decision as usual; if the decision would
+/// *execute* above the cap it is clamped (see [`DispatchDecision::clamp_to`]).
+/// Two properties are load-bearing for the conformance invariants:
+///
+/// * **accurate dispatches are never clamped** — critical work runs wherever
+///   the inner governor puts it (nominal, for every governor in this
+///   workspace); the cap only restricts approximate work, so "critical is
+///   never scaled" survives arbitrary cap pressure;
+/// * the clamp happens **inside** the governor, before the environment's
+///   domain bookkeeping — transition counts and domain ratios stay coherent
+///   with what actually executes.
+///
+/// `set_cap` is lock-free (a single atomic store of the ratio bits), so a
+/// controller may re-target caps from outside the dispatch path.
+pub struct FrequencyCapGovernor {
+    inner: Arc<dyn Governor>,
+    cap_bits: AtomicU64,
+}
+
+impl FrequencyCapGovernor {
+    /// Wrap `inner` with no cap engaged (ratio 1.0).
+    pub fn new(inner: Arc<dyn Governor>) -> Self {
+        FrequencyCapGovernor {
+            inner,
+            cap_bits: AtomicU64::new(1.0f64.to_bits()),
+        }
+    }
+
+    /// Wrap `inner` with an initial cap ratio.
+    pub fn with_cap(inner: Arc<dyn Governor>, cap: f64) -> Self {
+        let governor = FrequencyCapGovernor::new(inner);
+        governor.set_cap(cap);
+        governor
+    }
+
+    /// Re-target the cap ratio, in `(0, 1]` (1.0 disengages the cap).
+    pub fn set_cap(&self, cap: f64) {
+        assert!(
+            cap > 0.0 && cap <= 1.0,
+            "frequency cap ratio must be in (0, 1], got {cap}"
+        );
+        self.cap_bits.store(cap.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current cap ratio.
+    pub fn cap(&self) -> f64 {
+        f64::from_bits(self.cap_bits.load(Ordering::Relaxed))
+    }
+
+    /// The wrapped governor.
+    pub fn inner(&self) -> &Arc<dyn Governor> {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for FrequencyCapGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrequencyCapGovernor")
+            .field("inner", &self.inner.name())
+            .field("cap", &self.cap())
+            .finish()
+    }
+}
+
+impl Governor for FrequencyCapGovernor {
+    fn frequency_for(&self, ctx: &DispatchContext) -> FrequencyScale {
+        self.decide(ctx).scale()
+    }
+
+    fn decide(&self, ctx: &DispatchContext) -> DispatchDecision {
+        let decision = self.inner.decide(ctx);
+        if ctx.accurate {
+            return decision;
+        }
+        let cap = self.cap();
+        if cap >= 1.0 {
+            return decision;
+        }
+        // Clamp on the same exponent family the inner decision priced with,
+        // so held/clamped dispatches stay on one dynamic-energy curve.
+        decision.clamp_to(FrequencyScale::with_exponent(
+            cap,
+            decision.scale().power_exponent(),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "frequency-cap"
+    }
+}
+
+/// Consistent fold of every shard's counters — the cheap snapshot a polling
+/// controller (the cluster power-cap loop) reads every tick without building
+/// a full [`EnergyReport`] (no allocation, no `String`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnvTotals {
+    /// Measured busy nanoseconds across workers.
+    pub busy_nanos: u64,
+    /// Modelled (dilated) busy nanoseconds across workers.
+    pub modelled_busy_nanos: u64,
+    /// Modelled busy nanoseconds spent in accurate bodies.
+    pub accurate_busy_nanos: u64,
+    /// Modelled dynamic energy in nanojoules.
+    pub dynamic_nanojoules: u64,
+    /// Tasks dispatched below nominal frequency.
+    pub scaled_tasks: u64,
+    /// Frequency-domain switches.
+    pub frequency_transitions: u64,
+}
+
 const MODES: usize = 3;
 
 fn mode_index(mode: ExecutionMode) -> usize {
@@ -857,6 +989,22 @@ impl ExecutionEnv {
     /// The power model the environment prices energy with.
     pub fn model(&self) -> &PowerModel {
         &self.model
+    }
+
+    /// Fold the shards into an [`EnvTotals`] snapshot (each shard read
+    /// consistently through its seqlock).
+    pub fn totals(&self) -> EnvTotals {
+        let mut totals = EnvTotals::default();
+        for shard in self.shards.iter() {
+            let snap = Self::snapshot(shard);
+            totals.busy_nanos += snap.real_busy_nanos;
+            totals.modelled_busy_nanos += snap.modelled_busy_nanos.iter().sum::<u64>();
+            totals.accurate_busy_nanos += snap.modelled_busy_nanos[0];
+            totals.dynamic_nanojoules += snap.dynamic_nanojoules;
+            totals.scaled_tasks += snap.scaled_tasks;
+            totals.frequency_transitions += snap.transitions;
+        }
+        totals
     }
 
     /// Fold the shards into an immutable report. `wall_seconds` is the
@@ -1393,6 +1541,87 @@ mod tests {
             damped <= 120 / 8 + 1,
             "hysteresis 8 must bound changes to n/8 + 1, got {damped}"
         );
+    }
+
+    #[test]
+    fn clamp_to_caps_stretch_and_downgrades_race() {
+        let cap = FrequencyScale::new(0.5);
+        // At or below the cap: unchanged.
+        let low = DispatchDecision::stretch(FrequencyScale::new(0.4));
+        assert_eq!(low.clamp_to(cap), low);
+        // Above the cap: pulled down to it.
+        let high = DispatchDecision::stretch(FrequencyScale::new(0.8));
+        assert_eq!(high.clamp_to(cap).scale().ratio(), 0.5);
+        // A race executes at nominal — forbidden under the cap — and falls
+        // back to slow-and-steady at its reference rung.
+        let race = DispatchDecision::race(FrequencyScale::new(0.4));
+        let clamped = race.clamp_to(cap);
+        assert!(!clamped.is_race());
+        assert_eq!(clamped.scale().ratio(), 0.4);
+        // A reference above the cap is clamped too.
+        let race_high = DispatchDecision::race(FrequencyScale::new(0.8));
+        assert_eq!(race_high.clamp_to(cap).scale().ratio(), 0.5);
+    }
+
+    #[test]
+    fn frequency_cap_governor_clamps_only_approximate_work() {
+        let g =
+            FrequencyCapGovernor::new(Arc::new(SignificanceLadderGovernor::with_ladder(4, 0.4)));
+        // Uncapped: transparent.
+        let free = g.decide(&ctx(0.1, false));
+        assert!((free.scale().ratio() - 0.4).abs() < 1e-12);
+        g.set_cap(0.25);
+        assert_eq!(g.cap(), 0.25);
+        // Approximate work is clamped to the cap...
+        assert!((g.decide(&ctx(0.1, false)).scale().ratio() - 0.25).abs() < 1e-12);
+        // ...accurate work is never clamped, no matter the cap.
+        let accurate = g.decide(&ctx(1.0, true));
+        assert!(accurate.scale().is_nominal());
+        assert!(!accurate.is_race());
+        // Re-targeting back to 1.0 disengages the cap.
+        g.set_cap(1.0);
+        assert!((g.decide(&ctx(0.1, false)).scale().ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(g.name(), "frequency-cap");
+        assert_eq!(g.inner().name(), "significance-ladder");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency cap ratio")]
+    fn frequency_cap_rejects_zero() {
+        FrequencyCapGovernor::new(Arc::new(NominalGovernor)).set_cap(0.0);
+    }
+
+    #[test]
+    fn capped_race_governor_falls_back_to_stretching() {
+        let g = FrequencyCapGovernor::with_cap(
+            Arc::new(RaceToIdleGovernor::new(vec![FrequencyScale::new(0.5)])),
+            0.8,
+        );
+        let d = g.decide(&ctx(0.2, false));
+        assert!(!d.is_race(), "nominal execution is forbidden under the cap");
+        assert!((d.scale().ratio() - 0.5).abs() < 1e-12, "{d:?}");
+    }
+
+    #[test]
+    fn totals_fold_matches_report() {
+        let e = env(Arc::new(ApproxGovernor::new(0.5)));
+        let d = e.dispatch(0, &ctx(0.2, false));
+        e.record(0, ExecutionMode::Approximate, Duration::from_millis(4), d);
+        let nominal = e.dispatch(1, &ctx(0.9, true));
+        e.record(
+            1,
+            ExecutionMode::Accurate,
+            Duration::from_millis(2),
+            nominal,
+        );
+        let totals = e.totals();
+        let report = e.report(1.0, 3);
+        assert_eq!(totals.busy_nanos, 6_000_000);
+        assert_eq!(totals.modelled_busy_nanos, 10_000_000);
+        assert_eq!(totals.accurate_busy_nanos, 2_000_000);
+        assert_eq!(totals.scaled_tasks, report.scaled_tasks());
+        assert_eq!(totals.frequency_transitions, report.frequency_transitions());
+        assert!((totals.dynamic_nanojoules as f64 * 1e-9 - report.dynamic_joules()).abs() < 1e-9);
     }
 
     #[test]

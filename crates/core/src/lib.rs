@@ -69,9 +69,9 @@ pub mod task;
 
 pub use deps::DepKey;
 pub use env::{
-    AdaptiveGovernor, ApproxGovernor, DispatchContext, DispatchDecision, EnergyReport,
-    ExecutionEnv, Governor, NominalGovernor, RaceToIdleGovernor, SignificanceLadderGovernor,
-    WorkerEnergy,
+    AdaptiveGovernor, ApproxGovernor, DispatchContext, DispatchDecision, EnergyReport, EnvTotals,
+    ExecutionEnv, FrequencyCapGovernor, Governor, NominalGovernor, RaceToIdleGovernor,
+    SignificanceLadderGovernor, WorkerEnergy,
 };
 pub use faults::{FaultAction, FaultPlan};
 pub use group::{GroupId, TaskGroup};
@@ -95,7 +95,8 @@ pub use sig_energy::{
 pub mod prelude {
     pub use crate::deps::DepKey;
     pub use crate::env::{
-        AdaptiveGovernor, ApproxGovernor, Governor, RaceToIdleGovernor, SignificanceLadderGovernor,
+        AdaptiveGovernor, ApproxGovernor, FrequencyCapGovernor, Governor, RaceToIdleGovernor,
+        SignificanceLadderGovernor,
     };
     pub use crate::faults::{FaultAction, FaultPlan};
     pub use crate::group::TaskGroup;

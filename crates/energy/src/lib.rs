@@ -34,12 +34,14 @@
 
 #![warn(missing_docs)]
 
+pub mod curve;
 pub mod dvfs;
 pub mod idle;
 pub mod meter;
 pub mod power;
 pub mod work;
 
+pub use curve::UtilizationPowerCurve;
 pub use dvfs::{FrequencyScale, TransitionCost};
 pub use idle::SleepState;
 pub use meter::{BusyGuard, EnergyMeter, EnergyReading};

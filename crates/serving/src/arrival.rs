@@ -7,9 +7,44 @@
 //! function of its parameters and a seed, so live runs and the deterministic
 //! simulator replay the identical schedule.
 
+use std::fmt;
+use std::path::Path;
+
 use crate::rng::SplitMix64;
 
 const NANOS_PER_SEC: f64 = 1e9;
+
+/// Why a recorded trace failed to parse (see
+/// [`ArrivalPattern::from_trace_text`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// A non-comment line was not a `u64` nanosecond offset.
+    BadOffset {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The trace contained no offsets at all.
+    Empty,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::BadOffset { line, token } => {
+                write!(
+                    f,
+                    "trace line {line}: {token:?} is not a nanosecond offset (expected \
+                     a non-negative integer)"
+                )
+            }
+            TraceParseError::Empty => write!(f, "trace contains no arrival offsets"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
 
 /// A seeded arrival process. All variants produce *offsets in nanoseconds
 /// from the start of the run*, sorted ascending.
@@ -40,6 +75,42 @@ pub enum ArrivalPattern {
 }
 
 impl ArrivalPattern {
+    /// Parse a recorded trace from its text form: one nanosecond offset per
+    /// line (offsets from the start of the run, need not be sorted). Blank
+    /// lines and `#` comments are ignored; `_` separators inside numbers are
+    /// allowed (`1_000_000`). Returns [`ArrivalPattern::Trace`].
+    pub fn from_trace_text(text: &str) -> Result<Self, TraceParseError> {
+        let mut offsets = Vec::new();
+        for (index, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let token: String = line.chars().filter(|&c| c != '_').collect();
+            match token.parse::<u64>() {
+                Ok(offset) => offsets.push(offset),
+                Err(_) => {
+                    return Err(TraceParseError::BadOffset {
+                        line: index + 1,
+                        token: line.to_string(),
+                    })
+                }
+            }
+        }
+        if offsets.is_empty() {
+            return Err(TraceParseError::Empty);
+        }
+        Ok(ArrivalPattern::Trace(offsets))
+    }
+
+    /// Read and parse a trace file (see
+    /// [`ArrivalPattern::from_trace_text`] for the format). I/O errors are
+    /// boxed alongside parse errors so callers report either uniformly.
+    pub fn from_trace_file(path: impl AsRef<Path>) -> Result<Self, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path.as_ref())?;
+        Ok(Self::from_trace_text(&text)?)
+    }
+
     /// The first `count` arrival offsets of the seeded schedule, in
     /// nanoseconds, ascending. A `Trace` returns at most its own length.
     pub fn schedule(&self, seed: u64, count: usize) -> Vec<u64> {
@@ -178,5 +249,49 @@ mod tests {
         let pattern = ArrivalPattern::Trace(vec![30, 10, 20, 40]);
         assert_eq!(pattern.schedule(0, 3), vec![10, 20, 30]);
         assert_eq!(pattern.schedule(9, 10).len(), 4, "seed-independent");
+    }
+
+    #[test]
+    fn trace_text_parses_comments_blanks_and_separators() {
+        let text = "# recorded 2026-08-08\n1_000\n\n250 # early spike\n500\n";
+        let pattern = ArrivalPattern::from_trace_text(text).unwrap();
+        match &pattern {
+            ArrivalPattern::Trace(offsets) => assert_eq!(offsets, &vec![1_000, 250, 500]),
+            other => panic!("expected a trace, got {other:?}"),
+        }
+        assert_eq!(pattern.schedule(0, 10), vec![250, 500, 1_000]);
+    }
+
+    #[test]
+    fn malformed_trace_reports_line_and_token() {
+        let err = ArrivalPattern::from_trace_text("100\nnot-a-number\n200\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceParseError::BadOffset {
+                line: 2,
+                token: "not-a-number".into()
+            }
+        );
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let negative = ArrivalPattern::from_trace_text("-5\n").unwrap_err();
+        assert!(matches!(
+            negative,
+            TraceParseError::BadOffset { line: 1, .. }
+        ));
+        assert_eq!(
+            ArrivalPattern::from_trace_text("# only comments\n").unwrap_err(),
+            TraceParseError::Empty
+        );
+    }
+
+    #[test]
+    fn trace_file_round_trips_and_missing_file_errors() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sig_serving_arrival_trace_test.txt");
+        std::fs::write(&path, "10\n30\n20\n").unwrap();
+        let pattern = ArrivalPattern::from_trace_file(&path).unwrap();
+        assert_eq!(pattern.schedule(0, 10), vec![10, 20, 30]);
+        std::fs::remove_file(&path).unwrap();
+        assert!(ArrivalPattern::from_trace_file(&path).is_err());
     }
 }

@@ -39,7 +39,7 @@ pub mod sim;
 pub mod sketch;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
-pub use arrival::ArrivalPattern;
+pub use arrival::{ArrivalPattern, TraceParseError};
 pub use report::ServingStats;
 pub use request::{QualityTier, RequestClass, RequestOutcome, RetryPolicy, ViolationKind};
 pub use rng::SplitMix64;

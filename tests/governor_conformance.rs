@@ -32,8 +32,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use significance_repro::core::{
-    AdaptiveGovernor, ApproxGovernor, DispatchContext, ExecutionEnv, Governor, NominalGovernor,
-    RaceToIdleGovernor, SignificanceLadderGovernor,
+    AdaptiveGovernor, ApproxGovernor, DispatchContext, ExecutionEnv, FrequencyCapGovernor,
+    Governor, NominalGovernor, RaceToIdleGovernor, SignificanceLadderGovernor,
 };
 use significance_repro::energy::{PowerModel, SleepState, TransitionCost};
 use significance_repro::prelude::*;
@@ -84,6 +84,18 @@ fn all_governors() -> Vec<GovernorCase> {
                     FrequencyScale::ladder(4, 0.4),
                     HYSTERESIS,
                     1e-3,
+                ))
+            }),
+        ),
+        // The cluster power-cap wrapper, engaged at 0.7: must preserve every
+        // invariant of its wrapped ladder (accurate work passes through the
+        // cap unclamped).
+        (
+            "frequency-cap",
+            Box::new(|| {
+                Arc::new(FrequencyCapGovernor::with_cap(
+                    Arc::new(SignificanceLadderGovernor::with_ladder(4, 0.4)),
+                    0.7,
                 ))
             }),
         ),
