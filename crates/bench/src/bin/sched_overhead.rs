@@ -408,6 +408,14 @@ fn run_check(config: &Config, committed_path: &str) -> ! {
         .unwrap_or_else(|e| panic!("cannot read {committed_path}: {e}"));
     let per_task_committed = extract_json_number(&committed, "per_task_spawn_tasks_per_sec")
         .expect("committed report lacks per_task_spawn_tasks_per_sec");
+    // The committed report must carry the core count it was produced on: a
+    // many-core regeneration must not silently compare against 1-core
+    // baselines (or vice versa). On a mismatch the committed absolute floor
+    // is meaningless, so the gate falls back to the same-run floor alone.
+    let committed_cores = extract_json_number(&committed, "cores")
+        .expect("committed report lacks the cores field -- regenerate BENCH_sched.json")
+        as usize;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Best-of-3 floor even under `--smoke` (reps = 1): a single measurement
     // is one preemption spike away from a false FAIL on a shared runner.
     let check_reps = config.reps.max(3);
@@ -417,7 +425,16 @@ fn run_check(config: &Config, committed_path: &str) -> ! {
     let batched_now = best_throughput(config.tasks, check_reps, || {
         bench_injection_batched(config.workers, config.tasks, 256)
     });
-    let floor = per_task_committed.min(per_task_now);
+    let floor = if committed_cores == host_cores {
+        per_task_committed.min(per_task_now)
+    } else {
+        eprintln!(
+            "sched-overhead check: committed report is from a {committed_cores}-core host, \
+             this is a {host_cores}-core host -- absolute committed numbers are not \
+             comparable, gating on the same-run per-task floor only"
+        );
+        per_task_now
+    };
     let threshold = 0.8 * floor;
     eprintln!(
         "sched-overhead check: batched(256) now {batched_now:.0} tasks/s vs per-task \
@@ -649,7 +666,7 @@ fn main() {
     let json = format!(
         "{{\n  \"benchmark\": \"sched_overhead\",\n  \"description\": \"spawn+execute+taskwait \
          throughput for empty-body tasks (pure scheduler overhead)\",\n  \"workers\": {workers},\n  \
-         \"tasks\": {tasks},\n  \"reps\": {reps},\n  \"host_cores\": {cores},\n  \
+         \"tasks\": {tasks},\n  \"reps\": {reps},\n  \"cores\": {cores},\n  \
          \"baseline_mutex_tasks_per_sec\": {baseline:.0},\n  \
          \"lockfree_agnostic_tasks_per_sec\": {agnostic:.0},\n  \
          \"lockfree_gtb32_tasks_per_sec\": {gtb:.0},\n  \

@@ -285,6 +285,7 @@ fn run_variant(config: &Config, variant: &Variant) -> Vec<LoadResult> {
                     panic_per_mille: PANIC_PER_MILLE,
                     seed: config.seed ^ ((point as u64) << 8),
                     admission: AdmissionConfig::default(),
+                    budget: None,
                 },
                 classes(variant.ladder, config.service_nanos),
                 env,

@@ -126,6 +126,16 @@ impl PowerCapController {
         &self.config
     }
 
+    /// Re-target the fleet-wide watt cap. This is the actuator an online
+    /// energy-budget controller drives: instead of a fixed build-time cap,
+    /// the budget loop feeds its planned sustainable rate here each control
+    /// tick and the next [`PowerCapController::retarget`] waterfills under
+    /// the new value. The cap must be positive ([`f64::INFINITY`] uncaps).
+    pub fn set_cap_watts(&mut self, cap_watts: f64) {
+        assert!(cap_watts > 0.0, "the watt cap must be positive");
+        self.config.cap_watts = cap_watts;
+    }
+
     /// Smoothed fleet backlog pressure (1.0 = `slot_watermark` backlogged
     /// requests per granted slot).
     pub fn pressure(&self) -> f64 {

@@ -25,7 +25,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sig_core::{DispatchContext, ExecutionMode, Governor, NominalGovernor, Policy};
-use sig_energy::{PowerModel, SleepState, TransitionCost, UtilizationPowerCurve};
+use sig_energy::{
+    BudgetConfig, BudgetController, BudgetSetpoint, EnergyReading, PowerModel, SleepState,
+    TransitionCost, UtilizationPowerCurve,
+};
 use sig_serving::{
     AdmissionConfig, AdmissionDecision, RequestClass, RequestOutcome, ServingStats, SplitMix64,
     ViolationKind,
@@ -72,6 +75,13 @@ pub struct ClusterConfig {
     pub sleep: Option<SleepState>,
     /// Cost per frequency-domain switch.
     pub transition_cost: TransitionCost,
+    /// Optional fleet-wide energy budget. When set, a [`BudgetController`]
+    /// samples the summed per-node energy ledgers at every control tick and
+    /// drives [`PowerCapController::set_cap_watts`] with its planned
+    /// sustainable rate — the global watt cap becomes the budget loop's
+    /// actuator instead of a fixed input. The configured `cap.cap_watts`
+    /// stays in force as a ceiling the budget can only tighten.
+    pub budget: Option<BudgetConfig>,
 }
 
 /// The default per-node power model: a small 2-core node.
@@ -107,6 +117,7 @@ impl Default for ClusterConfig {
             curve: UtilizationPowerCurve::linear(node_model),
             sleep: None,
             transition_cost: TransitionCost::free(),
+            budget: None,
         }
     }
 }
@@ -217,6 +228,10 @@ pub struct ClusterSim {
     consumed_env_joules: f64,
     consumed_power_integral: f64,
     consumed_violation: f64,
+    // Fleet-wide energy-budget loop (see `ClusterConfig::budget`).
+    budget: Option<BudgetController>,
+    /// The build-time watt cap: a ceiling the budget loop never exceeds.
+    configured_cap_watts: f64,
 }
 
 impl ClusterSim {
@@ -256,6 +271,8 @@ impl ClusterSim {
             })
             .collect();
         let fleet_watts = nodes.iter().map(|n| n.watts()).sum();
+        let budget = config.budget.map(BudgetController::new);
+        let configured_cap_watts = config.cap.cap_watts;
         let mut sim = ClusterSim {
             dispatcher: ClusterDispatcher::new(config.policy),
             cap: PowerCapController::new(config.cap),
@@ -272,6 +289,8 @@ impl ClusterSim {
             consumed_env_joules: 0.0,
             consumed_power_integral: 0.0,
             consumed_violation: 0.0,
+            budget,
+            configured_cap_watts,
         };
         sim.cap.retarget(&mut sim.nodes);
         sim
@@ -290,6 +309,66 @@ impl ClusterSim {
     /// Virtual now, nanoseconds since simulator construction.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// The summed per-node cumulative energy reading at virtual time `at`.
+    /// This is the exact ledger the budget loop observes — crash/restart
+    /// safe, because each node's `ExecutionEnv` ledger survives restarts.
+    pub fn fleet_reading(&self, at: u64) -> EnergyReading {
+        let wall = at as f64 * 1e-9;
+        let mut joules = 0.0;
+        let mut busy = 0.0;
+        for node in &self.nodes {
+            let reading = node.energy_report(at).reading();
+            joules += reading.joules;
+            busy += reading.busy_core_seconds;
+        }
+        EnergyReading {
+            wall_seconds: wall,
+            busy_core_seconds: busy,
+            joules,
+            average_watts: if wall > 0.0 { joules / wall } else { 0.0 },
+            breakdown: Default::default(),
+        }
+    }
+
+    /// The budget loop's latest setpoint, if a budget is configured.
+    pub fn budget_setpoint(&self) -> Option<BudgetSetpoint> {
+        self.budget.as_ref().map(|controller| controller.setpoint())
+    }
+
+    /// Cumulative joules the budget controller has accounted, if a budget
+    /// is configured. Always equals the summed per-node reading at the
+    /// controller's last observation — the cross-tier accounting identity.
+    pub fn budget_spent_joules(&self) -> Option<f64> {
+        self.budget.as_ref().map(BudgetController::spent_joules)
+    }
+
+    /// The budget controller's last observation `(elapsed_seconds,
+    /// busy_core_seconds, joules)` — the anchor for the cross-tier
+    /// accounting identity: re-reading [`ClusterSim::fleet_reading`] at that
+    /// instant must reproduce `joules` bit for bit, crashes included.
+    pub fn budget_observation(&self) -> Option<(f64, f64, f64)> {
+        self.budget
+            .as_ref()
+            .and_then(BudgetController::last_observation)
+    }
+
+    /// Feed the budget loop one observation at virtual time `at` and drive
+    /// the watt-cap actuator. No-op without a configured budget.
+    fn budget_tick(&mut self, at: u64) {
+        if self.budget.is_none() {
+            return;
+        }
+        let reading = self.fleet_reading(at);
+        let controller = self.budget.as_mut().expect("checked above");
+        let setpoint = controller.observe(at as f64 * 1e-9, &reading);
+        // The budget only ever tightens the configured cap; a generous
+        // plan never uncaps a fleet built with a hard watt limit.
+        let cap = setpoint.watt_cap.min(self.configured_cap_watts);
+        if cap.is_finite() || self.configured_cap_watts.is_finite() {
+            self.cap.set_cap_watts(cap.max(1e-9));
+        }
     }
 
     /// Service time of one attempt of `class` at `tier`, before frequency
@@ -418,6 +497,7 @@ impl ClusterSim {
                     self.admit_and_route(&mut phase, Some(request), class, at);
                 }
                 EventKind::Tick => {
+                    self.budget_tick(at);
                     self.cap.observe(&self.nodes);
                     self.cap.retarget(&mut self.nodes);
                     self.expire_queued(&mut phase, at);

@@ -823,6 +823,12 @@ pub struct ExecutionEnv {
     nominal_watts: f64,
     sleep: Option<SleepState>,
     transition_cost: TransitionCost,
+    /// Re-targetable budget frequency cap (ratio as `f64` bits; 1.0 =
+    /// disengaged). Unlike [`FrequencyCapGovernor`] this lives in the
+    /// environment itself, so an energy-budget controller can throttle
+    /// approximate work under **any** configured governor — including the
+    /// passthrough fast path — without re-wrapping it.
+    budget_cap_bits: AtomicU64,
     shards: Box<[CachePadded<EnvShard>]>,
 }
 
@@ -854,6 +860,7 @@ impl ExecutionEnv {
             governor,
             sleep,
             transition_cost,
+            budget_cap_bits: AtomicU64::new(1.0f64.to_bits()),
             shards: (0..shards.max(1))
                 .map(|_| CachePadded::new(EnvShard::new()))
                 .collect(),
@@ -870,11 +877,29 @@ impl ExecutionEnv {
         &self.shards[worker]
     }
 
+    /// Re-target the budget frequency cap for approximate dispatches, in
+    /// `(0, 1]` (1.0 disengages the cap and restores the exact unbudgeted
+    /// dispatch path). Lock-free: a single atomic store, so an energy-budget
+    /// controller re-targets from outside the dispatch path.
+    pub fn set_dispatch_cap(&self, cap: f64) {
+        assert!(
+            cap > 0.0 && cap <= 1.0,
+            "dispatch cap ratio must be in (0, 1], got {cap}"
+        );
+        self.budget_cap_bits.store(cap.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current budget frequency cap (1.0 when disengaged).
+    pub fn dispatch_cap(&self) -> f64 {
+        f64::from_bits(self.budget_cap_bits.load(Ordering::Relaxed))
+    }
+
     /// Choose the energy strategy for a task about to execute on `worker`
     /// and update the worker's frequency domain. Lock-free; one relaxed
     /// load/store pair when the frequency is unchanged.
     pub fn dispatch(&self, worker: usize, ctx: &DispatchContext) -> DispatchDecision {
-        if self.passthrough {
+        let cap = self.dispatch_cap();
+        if self.passthrough && cap >= 1.0 {
             return DispatchDecision::nominal();
         }
         let decision = if ctx.deadline_pressure {
@@ -882,7 +907,22 @@ impl ExecutionEnv {
             // governor: meeting the deadline dominates the energy policy.
             DispatchDecision::nominal()
         } else {
-            self.governor.decide(ctx)
+            let decision = if self.passthrough {
+                DispatchDecision::nominal()
+            } else {
+                self.governor.decide(ctx)
+            };
+            if cap < 1.0 && !ctx.accurate {
+                // The budget cap mirrors FrequencyCapGovernor's two
+                // load-bearing properties: accurate work is never clamped,
+                // and the clamp lands before domain bookkeeping.
+                decision.clamp_to(FrequencyScale::with_exponent(
+                    cap,
+                    decision.scale().power_exponent(),
+                ))
+            } else {
+                decision
+            }
         };
         let shard = self.shard(worker);
         let bits = decision.scale().ratio().to_bits();

@@ -64,6 +64,11 @@ pub(crate) struct GroupState {
     /// Target ratio of accurately executed tasks, `R_g ∈ [0, 1]`, stored as
     /// `f64` bits so the execution hot path reads it without a lock.
     ratio_bits: AtomicU64,
+    /// Multiplicative throttle in `[0, 1]` applied by the energy-budget
+    /// controller on top of the programmer's ratio (1.0 = no budget
+    /// engaged). Stored separately so releasing the budget restores the
+    /// programmer's exact ratio bits.
+    budget_scale_bits: AtomicU64,
     /// Tasks spawned into this group and not yet completed.
     pub(crate) outstanding: AtomicUsize,
     /// Barrier waiters for `taskwait label(...)`; notified only when
@@ -89,6 +94,7 @@ impl GroupState {
             id,
             name,
             ratio_bits: AtomicU64::new(ratio.to_bits()),
+            budget_scale_bits: AtomicU64::new(1.0f64.to_bits()),
             outstanding: AtomicUsize::new(0),
             barrier: EventCount::default(),
             buffer: Mutex::new(Vec::new()),
@@ -119,6 +125,37 @@ impl GroupState {
             "accurate-task ratio must be in [0, 1], got {ratio}"
         );
         self.ratio_bits.store(ratio.to_bits(), Ordering::Release);
+    }
+
+    /// Current budget throttle (1.0 when no budget is engaged).
+    pub(crate) fn budget_scale(&self) -> f64 {
+        f64::from_bits(self.budget_scale_bits.load(Ordering::Acquire))
+    }
+
+    /// Re-target the budget throttle (clamped to `[0, 1]`). Called by the
+    /// energy-budget controller, never by application code.
+    pub(crate) fn set_budget_scale(&self, scale: f64) {
+        let scale = scale.clamp(0.0, 1.0);
+        self.budget_scale_bits
+            .store(scale.to_bits(), Ordering::Release);
+    }
+
+    /// The ratio classification actually uses: the programmer's ratio scaled
+    /// by the budget throttle. Groups pinned at ratio 1.0 are **exempt** —
+    /// the budget never degrades work the programmer declared critical — and
+    /// with no budget engaged this returns the exact bits of [`Self::ratio`]
+    /// (the unbudgeted trace reproduces bit-for-bit).
+    pub(crate) fn effective_ratio(&self) -> f64 {
+        let base = self.ratio();
+        if base >= 1.0 {
+            return base;
+        }
+        let scale = self.budget_scale();
+        if scale >= 1.0 {
+            base
+        } else {
+            base * scale
+        }
     }
 
     /// Append a whole batch to the GTB buffer with **one** lock

@@ -88,7 +88,8 @@ pub use task::{CancelToken, ExecutionMode, TaskId};
 // Re-exported so downstream crates that only depend on `sig-core` can name
 // the energy types the execution environment is built from.
 pub use sig_energy::{
-    EnergyBreakdown, EnergyReading, FrequencyScale, PowerModel, SleepState, TransitionCost,
+    BudgetConfig, BudgetController, BudgetSetpoint, BudgetTarget, EnergyBreakdown, EnergyReading,
+    FrequencyScale, PowerModel, SleepState, SplitEstimator, TransitionCost,
 };
 
 /// Commonly used items, re-exported for glob import.

@@ -64,7 +64,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sig_energy::{PowerModel, SleepState, TransitionCost};
+use sig_energy::{
+    BudgetConfig, BudgetSetpoint, BudgetTarget, PowerModel, SleepState, TransitionCost,
+};
 
 use crate::deps::{DepKey, DependenceTracker};
 use crate::deque::QueueSet;
@@ -101,6 +103,7 @@ pub struct RuntimeBuilder {
     queue_watermark: Option<usize>,
     miss_watermark: Option<f64>,
     fault_plan: Option<FaultPlan>,
+    energy_budget: Option<BudgetConfig>,
 }
 
 impl std::fmt::Debug for RuntimeBuilder {
@@ -116,6 +119,7 @@ impl std::fmt::Debug for RuntimeBuilder {
             .field("queue_watermark", &self.queue_watermark)
             .field("miss_watermark", &self.miss_watermark)
             .field("fault_plan", &self.fault_plan)
+            .field("energy_budget", &self.energy_budget)
             .finish()
     }
 }
@@ -214,6 +218,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enforce an online energy budget (default: none). A
+    /// [`sig_energy::BudgetController`] samples the runtime's own
+    /// [`Runtime::energy_report_at`] deltas from the execute path (amortised,
+    /// like the brownout controller) and re-targets two knobs from what it
+    /// *observes* rather than what the power model predicts: a
+    /// multiplicative throttle on every group's accurate-task ratio (groups
+    /// pinned at ratio 1.0 are exempt — critical work is never degraded) and
+    /// a frequency cap on approximate dispatches via
+    /// [`ExecutionEnv::set_dispatch_cap`]. With no budget configured the
+    /// dispatch path is bit-for-bit identical to previous releases.
+    pub fn energy_budget(mut self, config: BudgetConfig) -> Self {
+        self.energy_budget = Some(config);
+        self
+    }
+
     /// Construct the runtime and start its worker threads.
     pub fn build(self) -> Runtime {
         Runtime::start(self)
@@ -272,6 +291,49 @@ impl OverloadState {
     }
 }
 
+/// Online energy-budget loop state: the controller plus its sampling pacing.
+/// Amortised like [`OverloadState`]: every `TICK_MASK + 1` executes per
+/// worker one worker *tries* to take the turn (`try_lock`, never blocking
+/// the execute path), and takes a sample only once the minimum interval has
+/// elapsed — so tiny tasks don't oversample and idle periods are simply
+/// sampled at the next execute.
+struct BudgetState {
+    inner: Mutex<BudgetInner>,
+}
+
+struct BudgetInner {
+    controller: sig_energy::BudgetController,
+    /// Next sample time, nanoseconds since runtime start.
+    next_sample_nanos: u64,
+    interval_nanos: u64,
+    setpoint: BudgetSetpoint,
+}
+
+impl BudgetState {
+    /// Attempt a budget sample once per this many + 1 executes per worker.
+    const TICK_MASK: usize = 31;
+
+    fn new(config: BudgetConfig) -> Self {
+        // Sample pacing: ~1/200th of the horizon for joule budgets (enough
+        // observations to converge well inside the tolerance band), 1 ms for
+        // open-ended watt envelopes; clamped to [50 µs, 50 ms].
+        let interval_seconds = match config.target {
+            BudgetTarget::TotalJoules {
+                horizon_seconds, ..
+            } => (horizon_seconds / 200.0).clamp(50e-6, 50e-3),
+            BudgetTarget::WattEnvelope { .. } => 1e-3,
+        };
+        BudgetState {
+            inner: Mutex::new(BudgetInner {
+                controller: sig_energy::BudgetController::new(config),
+                next_sample_nanos: 0,
+                interval_nanos: (interval_seconds * 1e9) as u64,
+                setpoint: BudgetSetpoint::unconstrained(config.target.planned_watts(0.0, 0.0)),
+            }),
+        }
+    }
+}
+
 /// Shared state between the master, the workers and the public handle.
 struct RuntimeInner {
     id: u64,
@@ -295,6 +357,8 @@ struct RuntimeInner {
     outstanding: AtomicUsize,
     /// Brownout overload controller (watermarks + current shed threshold).
     overload: OverloadState,
+    /// Online energy-budget loop, if `RuntimeBuilder::energy_budget` was set.
+    budget: Option<BudgetState>,
     /// Deterministic fault-injection plan, if chaos testing is enabled.
     faults: Option<FaultPlan>,
     /// Cancelled task-id ranges (`cancel_tasks`). Cold master-side state; the
@@ -329,13 +393,11 @@ impl RuntimeInner {
     /// with no shared-line traffic at all; every `TICK_MASK + 1`-th call
     /// per worker recomputes the shed threshold from the current queue
     /// depth and deadline-miss rate.
-    fn overload_tick(&self, tick: &mut usize) {
+    fn overload_tick(&self, t: usize) {
         let overload = &self.overload;
         if !overload.enabled() {
             return;
         }
-        let t = *tick;
-        *tick = t.wrapping_add(1);
         if t & OverloadState::TICK_MASK != 0 {
             return;
         }
@@ -359,6 +421,43 @@ impl RuntimeInner {
         overload
             .shed_bits
             .store(pressure.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Amortised energy-budget sample, called from the execute path next to
+    /// [`RuntimeInner::overload_tick`]. `try_lock` keeps it wait-free for
+    /// every worker but the one taking the sample; the minimum-interval
+    /// check inside makes the sampling rate task-size independent.
+    fn budget_tick(&self, t: usize) {
+        let Some(budget) = &self.budget else { return };
+        if t & BudgetState::TICK_MASK != 0 {
+            return;
+        }
+        let Ok(mut inner) = budget.inner.try_lock() else {
+            return;
+        };
+        let elapsed = self.started.elapsed();
+        let now_nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        if now_nanos < inner.next_sample_nanos {
+            return;
+        }
+        inner.next_sample_nanos = now_nanos + inner.interval_nanos;
+        let wall = elapsed.as_secs_f64();
+        let reading = self.env.report(wall, self.parkers.len()).reading();
+        let setpoint = inner.controller.observe(wall, &reading);
+        inner.setpoint = setpoint;
+        drop(inner);
+        self.apply_budget_setpoint(&setpoint);
+    }
+
+    /// Push a controller setpoint into the two actuators: the environment's
+    /// approximate-dispatch frequency cap and every group's budget throttle
+    /// (groups at ratio 1.0 are exempt inside `effective_ratio`).
+    fn apply_budget_setpoint(&self, setpoint: &BudgetSetpoint) {
+        self.env
+            .set_dispatch_cap(setpoint.frequency_cap.clamp(0.05, 1.0));
+        for group in self.groups.all() {
+            group.set_budget_scale(setpoint.ratio_scale);
+        }
     }
 
     /// Whether `id` falls in a range cancelled via `Runtime::cancel_tasks`.
@@ -478,7 +577,7 @@ impl RuntimeInner {
         }
         self.stats.record_flush();
         let significances: Vec<Significance> = tasks.iter().map(|t| t.significance).collect();
-        let decisions = gtb_classify(&significances, group.ratio());
+        let decisions = gtb_classify(&significances, group.effective_ratio());
         if tasks.len() < Self::PARALLEL_FLUSH_MIN {
             Self::release_classified(self, &tasks, &decisions);
             return;
@@ -686,9 +785,11 @@ impl RuntimeInner {
         let accurate = match task.decision() {
             Some(decision) => decision,
             None => match self.policy {
-                Policy::Lqh => {
-                    lqh.decide(task.group_id(), task.significance, task.group_state.ratio())
-                }
+                Policy::Lqh => lqh.decide(
+                    task.group_id(),
+                    task.significance,
+                    task.group_state.effective_ratio(),
+                ),
                 // The significance-agnostic runtime and any GTB task that
                 // somehow reaches a worker undecided run accurately: the
                 // conservative choice never degrades output quality.
@@ -700,7 +801,10 @@ impl RuntimeInner {
         // significance order — only tasks the policy already decided to run
         // non-accurately, never critical ones, lowest significance first
         // (the threshold rises with queue pressure).
-        self.overload_tick(tick);
+        let t = *tick;
+        *tick = t.wrapping_add(1);
+        self.overload_tick(t);
+        self.budget_tick(t);
         let shed_threshold = self.overload.threshold();
         if shed_threshold > 0.0
             && !accurate
@@ -744,7 +848,7 @@ impl RuntimeInner {
                 significance: task.significance,
                 accurate,
                 policy: self.policy,
-                group_ratio: task.group_state.ratio(),
+                group_ratio: task.group_state.effective_ratio(),
                 deadline_pressure,
             },
         );
@@ -998,6 +1102,7 @@ impl Runtime {
             next_task_id: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
             overload: OverloadState::new(builder.queue_watermark, builder.miss_watermark),
+            budget: builder.energy_budget.map(BudgetState::new),
             faults: builder.fault_plan,
             cancel_ranges: Mutex::new(Vec::new()),
             cancel_active: AtomicBool::new(false),
@@ -1063,6 +1168,31 @@ impl Runtime {
     /// The power model the runtime's energy accounting prices work with.
     pub fn energy_model(&self) -> &PowerModel {
         self.inner.env.model()
+    }
+
+    /// Latest setpoint of the online energy-budget controller, or `None`
+    /// when no budget was configured ([`RuntimeBuilder::energy_budget`]).
+    pub fn energy_budget_setpoint(&self) -> Option<BudgetSetpoint> {
+        let budget = self.inner.budget.as_ref()?;
+        Some(budget.inner.lock().unwrap().setpoint)
+    }
+
+    /// Force one budget-controller observation right now, bypassing the
+    /// amortised execute-path pacing, and return the resulting setpoint
+    /// (`None` without a configured budget). Useful around barriers: the
+    /// sample prices the full window, so `energy_budget_setpoint` reflects
+    /// the final spend.
+    pub fn energy_budget_sample(&self) -> Option<BudgetSetpoint> {
+        let budget = self.inner.budget.as_ref()?;
+        let mut inner = budget.inner.lock().unwrap();
+        let elapsed = self.inner.started.elapsed();
+        let wall = elapsed.as_secs_f64();
+        let reading = self.inner.env.report(wall, self.workers()).reading();
+        let setpoint = inner.controller.observe(wall, &reading);
+        inner.setpoint = setpoint;
+        drop(inner);
+        self.inner.apply_budget_setpoint(&setpoint);
+        Some(setpoint)
     }
 
     /// Number of task bodies that panicked. The panics are caught, the tasks

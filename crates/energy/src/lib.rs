@@ -34,13 +34,17 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod curve;
 pub mod dvfs;
 pub mod idle;
 pub mod meter;
 pub mod power;
+#[cfg(feature = "rapl")]
+pub mod rapl;
 pub mod work;
 
+pub use budget::{BudgetConfig, BudgetController, BudgetSetpoint, BudgetTarget, SplitEstimator};
 pub use curve::UtilizationPowerCurve;
 pub use dvfs::{FrequencyScale, TransitionCost};
 pub use idle::SleepState;

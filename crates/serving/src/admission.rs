@@ -102,6 +102,9 @@ pub enum AdmissionDecision {
 pub struct AdmissionController {
     config: AdmissionConfig,
     pressure: f64,
+    /// Energy-budget austerity in `[0, 1]`, composed with queue pressure in
+    /// [`AdmissionController::effective_pressure`]. `0.0` = no budget.
+    budget_pressure: f64,
     miss_rate: f64,
     service_nanos: f64,
     overloaded: bool,
@@ -117,6 +120,7 @@ impl AdmissionController {
         AdmissionController {
             config,
             pressure: 0.0,
+            budget_pressure: 0.0,
             miss_rate: 0.0,
             service_nanos: 0.0,
             overloaded: false,
@@ -126,20 +130,43 @@ impl AdmissionController {
         }
     }
 
+    /// Compose queue pressure with energy-budget pressure: the budget's
+    /// austerity is mapped onto the same `[downgrade_start, shed_full]`
+    /// response axis and the **stricter** signal wins, so a tight budget
+    /// degrades/sheds exactly like a deep queue would — same ordering, same
+    /// critical-exemption — and a zero budget signal changes nothing.
+    fn effective_pressure(&self) -> f64 {
+        if self.budget_pressure <= 0.0 {
+            return self.pressure;
+        }
+        let config = &self.config;
+        let mapped = config.downgrade_start
+            + self.budget_pressure * (config.shed_full - config.downgrade_start);
+        self.pressure.max(mapped)
+    }
+
+    /// Feed the energy-budget controller's austerity (`0.0` = slack, `1.0` =
+    /// budget exhausted) into admission. See
+    /// [`AdmissionController::effective_pressure`].
+    pub fn set_budget_pressure(&mut self, austerity: f64) {
+        self.budget_pressure = austerity.clamp(0.0, 1.0);
+    }
+
     /// Decide admission for one request of `class` given the current queue
     /// depth (requests admitted but not yet completed).
     pub fn decide(&mut self, class: &RequestClass, queue_depth: usize) -> AdmissionDecision {
         let config = &self.config;
         let raw = queue_depth as f64 / config.queue_watermark as f64;
         self.pressure += config.pressure_alpha * (raw - self.pressure);
+        let pressure = self.effective_pressure();
 
         // Hysteresis on the smoothed signals.
         if !self.overloaded
-            && (self.pressure >= config.enter_overload || self.miss_rate >= config.miss_watermark)
+            && (pressure >= config.enter_overload || self.miss_rate >= config.miss_watermark)
         {
             self.overloaded = true;
         } else if self.overloaded
-            && self.pressure <= config.exit_overload
+            && pressure <= config.exit_overload
             && self.miss_rate < config.miss_watermark * 0.5
         {
             self.overloaded = false;
@@ -149,9 +176,9 @@ impl AdmissionController {
         // Shed last: only while the flag is up and pressure sits above
         // `shed_start`. One rising significance cutoff ⇒ the shed set is
         // always a prefix of the significance axis (lowest first).
-        if self.overloaded && self.pressure >= config.shed_start {
+        if self.overloaded && pressure >= config.shed_start {
             let span = config.shed_full - config.shed_start;
-            let depth = ((self.pressure - config.shed_start) / span).clamp(0.0, 1.0);
+            let depth = ((pressure - config.shed_start) / span).clamp(0.0, 1.0);
             let cutoff = config.max_shed_significance * depth;
             if class.significance() < cutoff {
                 self.shed += 1;
@@ -164,7 +191,7 @@ impl AdmissionController {
         // least one tier down so the backlog drains before full quality
         // resumes.
         let span = config.shed_start - config.downgrade_start;
-        let depth = ((self.pressure - config.downgrade_start) / span).clamp(0.0, 1.0);
+        let depth = ((pressure - config.downgrade_start) / span).clamp(0.0, 1.0);
         let ladder = class.tiers.len().saturating_sub(1);
         let mut tier = (depth * ladder as f64).ceil() as usize;
         if self.overloaded && ladder > 0 {
@@ -189,6 +216,12 @@ impl AdmissionController {
     /// Smoothed queue pressure (1.0 = at the watermark).
     pub fn pressure(&self) -> f64 {
         self.pressure
+    }
+
+    /// Current energy-budget pressure (austerity) fed via
+    /// [`AdmissionController::set_budget_pressure`].
+    pub fn budget_pressure(&self) -> f64 {
+        self.budget_pressure
     }
 
     /// Whether the hysteresis overload flag is currently up.

@@ -211,6 +211,13 @@ impl<'rt> Server<'rt> {
     /// Sweep in-flight requests once: resolve finished attempts, issue due
     /// retries, finalise terminal requests. Non-blocking.
     pub fn poll(&mut self) {
+        // If the runtime runs under an energy budget
+        // (`RuntimeBuilder::energy_budget`), compose the controller's
+        // austerity with admission pressure: a tight budget degrades and
+        // sheds through the same ladder queue pressure does.
+        if let Some(setpoint) = self.runtime.energy_budget_setpoint() {
+            self.admission.set_budget_pressure(setpoint.austerity);
+        }
         let now = self.now_nanos();
         let mut index = 0;
         while index < self.active.len() {

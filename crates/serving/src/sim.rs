@@ -24,7 +24,10 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::time::Duration;
 
-use sig_core::{DispatchContext, ExecutionEnv, ExecutionMode, Policy};
+use sig_core::{
+    BudgetConfig, BudgetController, BudgetSetpoint, BudgetTarget, DispatchContext, ExecutionEnv,
+    ExecutionMode, Policy,
+};
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 use crate::report::ServingStats;
@@ -46,6 +49,13 @@ pub struct SimConfig {
     pub seed: u64,
     /// Admission-control tuning.
     pub admission: AdmissionConfig,
+    /// Online energy budget (default: none). The controller samples the
+    /// environment's cumulative reading on a virtual-time cadence; its
+    /// austerity composes with admission pressure
+    /// ([`AdmissionController::set_budget_pressure`]) and its frequency cap
+    /// throttles approximate attempts via the environment's dispatch-cap
+    /// hook. Purely virtual-time driven, so replays stay bit-deterministic.
+    pub budget: Option<BudgetConfig>,
 }
 
 impl Default for SimConfig {
@@ -56,6 +66,7 @@ impl Default for SimConfig {
             panic_per_mille: 0,
             seed: 42,
             admission: AdmissionConfig::default(),
+            budget: None,
         }
     }
 }
@@ -148,6 +159,11 @@ pub struct Simulator {
     now: u64,
     /// Joules watermark at the end of the previous phase.
     consumed_joules: f64,
+    /// Energy-budget loop, if configured: controller plus its virtual-time
+    /// sampling cadence (carried across phases, like the controller state).
+    budget: Option<BudgetController>,
+    budget_interval_nanos: u64,
+    next_budget_nanos: u64,
 }
 
 impl Simulator {
@@ -160,6 +176,16 @@ impl Simulator {
         for class in &classes {
             class.validate();
         }
+        let budget = config.budget.map(BudgetController::new);
+        // Budget sampling cadence in virtual time: ~1/200th of a joule
+        // budget's horizon, 1 ms for open-ended watt envelopes.
+        let budget_interval_nanos = match config.budget.map(|b| b.target) {
+            Some(BudgetTarget::TotalJoules {
+                horizon_seconds, ..
+            }) => ((horizon_seconds / 200.0).clamp(10e-6, 50e-3) * 1e9) as u64,
+            Some(BudgetTarget::WattEnvelope { .. }) => 1_000_000,
+            None => u64::MAX,
+        };
         Simulator {
             admission: AdmissionController::new(config.admission),
             rng: SplitMix64::new(config.seed ^ 0x51e7_ab1e_0dd5_ca1e),
@@ -168,7 +194,29 @@ impl Simulator {
             env,
             now: 0,
             consumed_joules: 0.0,
+            budget,
+            budget_interval_nanos,
+            next_budget_nanos: 0,
         }
+    }
+
+    /// Sample the budget controller if its virtual-time cadence is due, and
+    /// push the setpoint into both actuators (admission pressure and the
+    /// environment's approximate-dispatch frequency cap).
+    fn budget_tick(&mut self, at: u64) {
+        let Some(controller) = self.budget.as_mut() else {
+            return;
+        };
+        if at < self.next_budget_nanos {
+            return;
+        }
+        self.next_budget_nanos = at.saturating_add(self.budget_interval_nanos);
+        let wall = at as f64 * 1e-9;
+        let reading = self.env.report(wall, self.config.workers).reading();
+        let setpoint = controller.observe(wall, &reading);
+        self.admission.set_budget_pressure(setpoint.austerity);
+        self.env
+            .set_dispatch_cap(setpoint.frequency_cap.clamp(0.05, 1.0));
     }
 
     /// Service time of one attempt of `class` at `tier`, virtual nanos
@@ -204,6 +252,7 @@ impl Simulator {
         while let Some(event) = heap.pop() {
             self.now = self.now.max(event.at);
             let at = event.at;
+            self.budget_tick(at);
             match event.kind {
                 EventKind::Arrival { class } => {
                     stats.offered += 1;
@@ -434,6 +483,25 @@ impl Simulator {
     /// Virtual now, nanoseconds since simulator construction.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Latest setpoint of the energy-budget controller, if one is
+    /// configured.
+    pub fn budget_setpoint(&self) -> Option<BudgetSetpoint> {
+        self.budget.as_ref().map(|c| c.setpoint())
+    }
+
+    /// Cumulative joules the budget controller has observed (its own
+    /// accounting of spend against the budget), if one is configured.
+    pub fn budget_spent_joules(&self) -> Option<f64> {
+        self.budget.as_ref().map(|c| c.spent_joules())
+    }
+
+    /// The budget controller's last observation `(elapsed_seconds,
+    /// busy_core_seconds, joules)` — the anchor for cross-tier accounting
+    /// checks against the environment's cumulative reading.
+    pub fn budget_observation(&self) -> Option<(f64, f64, f64)> {
+        self.budget.as_ref().and_then(|c| c.last_observation())
     }
 }
 

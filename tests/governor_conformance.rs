@@ -35,7 +35,10 @@ use significance_repro::core::{
     AdaptiveGovernor, ApproxGovernor, DispatchContext, ExecutionEnv, FrequencyCapGovernor,
     Governor, NominalGovernor, RaceToIdleGovernor, SignificanceLadderGovernor,
 };
-use significance_repro::energy::{PowerModel, SleepState, TransitionCost};
+use significance_repro::energy::{
+    BudgetConfig, BudgetController, BudgetTarget, EnergyReading, PowerModel, SleepState,
+    TransitionCost,
+};
 use significance_repro::prelude::*;
 
 /// Workers used by the deterministic environment scripts.
@@ -330,6 +333,230 @@ fn race_to_idle_pays_zero_transitions_and_banks_residency() {
     assert!(report.sleep_seconds() > 0.0);
     assert!(report.sleep_entries() > 0);
     assert_eq!(report.scaled_tasks(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Budget-controller conformance row
+//
+// The online energy-budget loop is not a `Governor`, but it rides the same
+// dispatch path (a group ratio throttle plus the environment's re-targetable
+// frequency cap), so it gets the same deterministic-script treatment: spend
+// conformance for feasible budgets, critical-work protection under maximum
+// austerity, and an exact-bits no-op guarantee when the budget never binds.
+// ---------------------------------------------------------------------------
+
+/// Tasks per control interval of the budgeted script.
+const BUDGET_INTERVAL_TASKS: usize = 20;
+/// Wall seconds per control interval. The grid is arrival-driven: at ~0.7 ms
+/// of nominal busy work per 2 ms interval across 2 workers, utilization stays
+/// below 1 even fully dilated, so every run completes the whole script and
+/// readings are directly comparable.
+const BUDGET_INTERVAL_SECONDS: f64 = 2e-3;
+/// Base significance ratio of the script's single (non-critical) group.
+const BUDGET_BASE_RATIO: f64 = 0.5;
+/// Tasks in the budgeted script. Longer than [`script`]: the integral
+/// controller needs a few dozen observations to ramp austerity and settle,
+/// so the budgeted runs get 50 control intervals instead of 10.
+const BUDGET_SCRIPT_TASKS: usize = 1000;
+
+/// Significance sequence of the budgeted script (same cycle as [`script`];
+/// accuracy is decided online from the budget-scaled ratio instead of being
+/// scripted).
+fn budget_script() -> Vec<f64> {
+    (0..BUDGET_SCRIPT_TASKS)
+        .map(|i| ((i % 9) + 1) as f64 / 10.0)
+        .collect()
+}
+
+/// Drive the deterministic script through a ladder environment with an
+/// optional online budget loop in control. The loop applies the setpoint
+/// exactly as the runtime does: `ratio_scale` multiplies the group ratio
+/// (shifting the accuracy threshold) and `frequency_cap` re-targets the
+/// environment's approximate-dispatch cap. Returns the final cumulative
+/// reading plus the interval-end cumulative-joule trace.
+fn run_budget_script(budget: Option<BudgetConfig>) -> (EnergyReading, Vec<f64>) {
+    let env = ExecutionEnv::new(
+        test_model(),
+        Arc::new(SignificanceLadderGovernor::with_ladder(4, 0.4)),
+        Some(SleepState::deep()),
+        TransitionCost::typical(),
+        WORKERS,
+    );
+    let mut controller = budget.map(BudgetController::new);
+    let mut ratio_scale = 1.0f64;
+    let mut trace = Vec::new();
+    let script = budget_script();
+    let intervals = script.len() / BUDGET_INTERVAL_TASKS;
+    for (interval, chunk) in script.chunks(BUDGET_INTERVAL_TASKS).enumerate() {
+        for (offset, significance) in chunk.iter().enumerate() {
+            let i = interval * BUDGET_INTERVAL_TASKS + offset;
+            let worker = i % WORKERS;
+            let ratio = (BUDGET_BASE_RATIO * ratio_scale).clamp(0.0, 1.0);
+            let accurate = *significance >= 1.0 - ratio;
+            let decision = env.dispatch(worker, &ctx(worker, *significance, accurate));
+            let busy_micros = if accurate { 100 } else { 40 };
+            let mode = if accurate {
+                ExecutionMode::Accurate
+            } else {
+                ExecutionMode::Approximate
+            };
+            env.record(
+                worker,
+                mode,
+                std::time::Duration::from_micros(busy_micros),
+                decision,
+            );
+        }
+        let wall = (interval + 1) as f64 * BUDGET_INTERVAL_SECONDS;
+        let reading = env.report(wall, WORKERS).reading();
+        trace.push(reading.joules);
+        if let Some(controller) = controller.as_mut() {
+            let setpoint = controller.observe(wall, &reading);
+            ratio_scale = setpoint.ratio_scale;
+            env.set_dispatch_cap(setpoint.frequency_cap);
+        }
+    }
+    let wall = intervals as f64 * BUDGET_INTERVAL_SECONDS;
+    (env.report(wall, WORKERS).reading(), trace)
+}
+
+/// A joule budget for the deterministic script at `fraction` of the
+/// open-loop spend, with the library-default ±10% tolerance band.
+fn script_budget(open_joules: f64, fraction: f64) -> BudgetConfig {
+    let intervals = BUDGET_SCRIPT_TASKS / BUDGET_INTERVAL_TASKS;
+    BudgetConfig::new(BudgetTarget::TotalJoules {
+        joules: fraction * open_joules,
+        horizon_seconds: intervals as f64 * BUDGET_INTERVAL_SECONDS,
+    })
+}
+
+/// Spend conformance: for every *feasible* budget (one above the all-approx
+/// floor the austerity knobs can actually reach), cumulative joules never
+/// exceed `budget × (1 + tolerance)` — and the budget genuinely binds, so
+/// the test is not vacuous.
+#[test]
+fn budget_spend_never_exceeds_tolerance_band_for_feasible_budgets() {
+    let (open, _) = run_budget_script(None);
+    for fraction in [0.85, 0.92] {
+        let config = script_budget(open.joules, fraction);
+        let cap = fraction * open.joules * (1.0 + config.tolerance);
+        let (reading, trace) = run_budget_script(Some(config));
+        assert!(
+            reading.joules <= cap,
+            "budget {fraction}×open: spent {} J above the {cap} J conformance cap",
+            reading.joules
+        );
+        assert!(
+            reading.joules < open.joules,
+            "budget {fraction}×open never bound: spent {} J vs open {} J",
+            reading.joules,
+            open.joules
+        );
+        // Cumulative spend is monotone, so the final check covers every
+        // interval — assert the trace agrees.
+        for pair in trace.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-12, "cumulative joules regressed");
+        }
+        assert!((trace.last().copied().unwrap() - reading.joules).abs() < 1e-9);
+    }
+}
+
+/// Critical-work protection under maximum austerity, end to end on the live
+/// runtime: with an already-exhausted budget (austerity saturated at 1.0), a
+/// critical group (ratio 0.0, significance 1.0) still executes every task
+/// accurately at nominal frequency — the budget's ratio throttle exempts
+/// ratio-0 groups and the dispatch cap exempts accurate work.
+#[test]
+fn exhausted_budget_never_scales_critical_or_accurate_tasks() {
+    let rt = Runtime::builder()
+        .workers(WORKERS)
+        .policy(Policy::GtbMaxBuffer)
+        .energy_model(test_model())
+        .governor(SignificanceLadderGovernor::with_ladder(4, 0.4))
+        .sleep_state(SleepState::deep())
+        .transition_cost(TransitionCost::typical())
+        .energy_budget(BudgetConfig::new(BudgetTarget::TotalJoules {
+            joules: 1e-9,
+            horizon_seconds: 1e-6,
+        }))
+        .build();
+    // Burn enough work for the controller to observe the overspend, then
+    // force a sample so the setpoint reflects it.
+    let warmup = rt.create_group("warmup", 0.5);
+    for i in 0..64u32 {
+        rt.task(|| std::thread::sleep(std::time::Duration::from_micros(30)))
+            .approx(|| std::thread::sleep(std::time::Duration::from_micros(10)))
+            .significance(((i % 9) + 1) as f64 / 10.0)
+            .group(&warmup)
+            .spawn();
+    }
+    rt.wait_group(&warmup);
+    let setpoint = rt
+        .energy_budget_sample()
+        .expect("a budget was configured on the builder");
+    assert!(setpoint.exhausted, "a 1 nJ budget must read as exhausted");
+    assert!(
+        setpoint.austerity >= 1.0 - 1e-12,
+        "exhaustion must saturate austerity"
+    );
+
+    let scaled_before = rt.energy_report().scaled_tasks();
+    let critical = rt.create_group("critical", 0.0);
+    for _ in 0..50 {
+        rt.task(|| {})
+            .approx(|| {})
+            .significance(1.0)
+            .group(&critical)
+            .spawn();
+    }
+    rt.wait_group(&critical);
+    assert_eq!(
+        rt.energy_report().scaled_tasks(),
+        scaled_before,
+        "critical tasks were dispatched below nominal under an exhausted budget"
+    );
+    assert_eq!(
+        rt.group_stats(&critical).accurate,
+        50,
+        "an exhausted budget degraded a critical (ratio-0.0) group"
+    );
+}
+
+/// Removing the budget reproduces the unbudgeted trace **bit for bit**: a
+/// budget so large it never binds emits exact-neutral setpoints
+/// (`ratio_scale == 1.0`, `frequency_cap == 1.0`), and both knob paths — the
+/// group-ratio multiply and the dispatch-cap clamp — are exact-bits no-ops
+/// at 1.0 by design. Every joule field and the whole interval trace must
+/// match to the last bit, not within a tolerance.
+#[test]
+fn never_binding_budget_reproduces_the_unbudgeted_trace_bit_for_bit() {
+    let (open, open_trace) = run_budget_script(None);
+    let (budgeted, budgeted_trace) = run_budget_script(Some(script_budget(open.joules, 1e6)));
+    assert_eq!(
+        budgeted.joules.to_bits(),
+        open.joules.to_bits(),
+        "a never-binding budget perturbed total joules: {} vs {}",
+        budgeted.joules,
+        open.joules
+    );
+    assert_eq!(
+        budgeted.busy_core_seconds.to_bits(),
+        open.busy_core_seconds.to_bits()
+    );
+    assert_eq!(
+        budgeted.average_watts.to_bits(),
+        open.average_watts.to_bits()
+    );
+    assert_eq!(
+        budgeted.breakdown.total().to_bits(),
+        open.breakdown.total().to_bits()
+    );
+    let open_bits: Vec<u64> = open_trace.iter().map(|j| j.to_bits()).collect();
+    let budgeted_bits: Vec<u64> = budgeted_trace.iter().map(|j| j.to_bits()).collect();
+    assert_eq!(
+        budgeted_bits, open_bits,
+        "interval traces diverge under a never-binding budget"
+    );
 }
 
 proptest! {
